@@ -1,0 +1,47 @@
+"""Figure 1 (right): benign-traffic latency versus Flooding Injection Rate.
+
+Paper shape: latency rises slowly at low FIR, grows steeply as the NoC
+approaches saturation, and the system effectively crashes (delivery collapses,
+latency explodes) at FIR = 1.  The increment from FIR 0.1 to 0.9 spans roughly
+one to tens of times the no-attack latency.
+"""
+
+from bench_utils import run_once, write_result
+
+from repro.experiments.latency_sweep import run_latency_sweep
+from repro.experiments.tables import format_rows
+
+FIRS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+def test_fig1_latency_vs_fir(benchmark, experiment_config):
+    config = experiment_config.scaled(samples_per_run=4)
+    points = run_once(
+        benchmark,
+        run_latency_sweep,
+        firs=FIRS,
+        benchmark="blackscholes",
+        config=config,
+        num_attackers=2,
+    )
+
+    rows = [point.as_dict() for point in points]
+    text = format_rows(rows)
+    baseline = points[0].packet_latency
+    attacked = {point.fir: point.packet_latency for point in points}
+    summary = (
+        f"\nmesh: {config.rows}x{config.rows}, benign workload: blackscholes, "
+        f"2 attackers\n"
+        f"packet latency at FIR 0.0 = {baseline:.1f} cycles, "
+        f"FIR 0.9 = {attacked[0.9]:.1f} cycles "
+        f"({attacked[0.9] / max(baseline, 1e-9):.1f}x), "
+        f"delivery ratio at FIR 1.0 = {points[-1].delivery_ratio:.2f}"
+    )
+    write_result("fig1_latency_vs_fir", text + summary)
+
+    # Shape assertions: latency grows with FIR; saturation hurts the system.
+    assert attacked[0.9] > baseline
+    high_fir_stress = (
+        attacked[0.9] > 2.0 * baseline or points[-1].delivery_ratio < 0.95
+    )
+    assert high_fir_stress

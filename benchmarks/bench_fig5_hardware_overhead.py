@@ -1,0 +1,45 @@
+"""Figure 5: hardware overhead decreasing with larger NoCs.
+
+Paper values: 7.40% (4x4), 1.90% (8x8), 0.45% (16x16), 0.11% (32x32), a 76.3%
+decrease from 8x8 to 16x16, and 42.4% less hardware than the distributed
+perceptron scheme (Sniffer, 3.3%) at the 8x8 scale.
+"""
+
+from bench_utils import run_once, write_result
+
+from repro.experiments.overhead_sweep import PAPER_OVERHEAD_PERCENT, run_overhead_sweep
+from repro.experiments.tables import format_rows
+
+
+def test_fig5_hardware_overhead_sweep(benchmark):
+    summary = run_once(benchmark, run_overhead_sweep, sizes=(4, 8, 16, 32))
+
+    rows = []
+    for report in summary["reports"]:
+        rows.append(
+            {
+                "mesh": f"{report.rows}x{report.rows}",
+                "noc_kgates": report.noc_area_gates / 1e3,
+                "accelerators_kgates": report.total_accelerator_gates / 1e3,
+                "overhead_%": report.overhead_percent,
+                "paper_%": PAPER_OVERHEAD_PERCENT[report.rows],
+            }
+        )
+    text = format_rows(rows)
+    text += (
+        f"\n8x8 -> 16x16 overhead saving: {summary['saving_8_to_16']:.1%} "
+        f"(paper: 76.3%)"
+        f"\nsaving vs Sniffer at 8x8: {summary['saving_vs_sniffer_8x8']:.1%} "
+        f"(paper: 42.4%)"
+    )
+    write_result("fig5_hardware_overhead", text)
+
+    measured = summary["measured_percent"]
+    # Shape: overhead decreases monotonically with mesh size.
+    assert measured[4] > measured[8] > measured[16] > measured[32]
+    # Each point is within a factor of two of the paper's synthesis result.
+    for rows_, paper in PAPER_OVERHEAD_PERCENT.items():
+        assert 0.5 * paper < measured[rows_] < 2.0 * paper
+    # Headline claims hold to within a few points.
+    assert 0.65 < summary["saving_8_to_16"] < 0.85
+    assert 0.30 < summary["saving_vs_sniffer_8x8"] < 0.60

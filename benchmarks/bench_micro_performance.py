@@ -1,0 +1,91 @@
+"""Micro-benchmarks of the substrate components (true pytest-benchmark timing).
+
+These are not paper artefacts; they track the cost of the building blocks the
+table/figure benches are built from (simulator cycles, frame extraction, CNN
+inference/training steps), which is what determines how far the experiment
+scale can be pushed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import build_detector_model
+from repro.core.localizer import build_localizer_model
+from repro.monitor.features import FeatureKind, extract_feature_frame
+from repro.noc.network import MeshNetwork
+from repro.noc.simulator import NoCSimulator, SimulationConfig
+from repro.noc.topology import Direction, MeshTopology
+from repro.traffic.flooding import FloodingAttacker, FloodingConfig
+from repro.traffic.synthetic import UniformRandomTraffic
+
+
+def _loaded_simulator(rows=8):
+    sim = NoCSimulator(SimulationConfig(rows=rows, warmup_cycles=0, seed=0))
+    sim.add_source(UniformRandomTraffic(sim.topology, injection_rate=0.02, seed=0))
+    sim.add_source(
+        FloodingAttacker(
+            FloodingConfig(attackers=(rows * rows - 1,), victim=0, fir=0.8),
+            sim.topology,
+            seed=1,
+        )
+    )
+    sim.run(64)
+    return sim
+
+
+def test_simulator_100_cycles_8x8(benchmark):
+    sim = _loaded_simulator(rows=8)
+    benchmark(lambda: sim.run(100))
+
+
+def test_simulator_100_cycles_16x16(benchmark):
+    sim = _loaded_simulator(rows=16)
+    benchmark(lambda: sim.run(100))
+
+
+def test_feature_frame_extraction_16x16(benchmark):
+    sim = _loaded_simulator(rows=16)
+
+    def extract():
+        return [
+            extract_feature_frame(sim.network, direction, kind)
+            for direction in Direction.cardinal()
+            for kind in FeatureKind
+        ]
+
+    frames = benchmark(extract)
+    assert len(frames) == 8
+
+
+def test_detector_inference_16x16(benchmark):
+    model = build_detector_model((16, 15, 4))
+    batch = np.random.default_rng(0).random((32, 16, 15, 4))
+    out = benchmark(lambda: model.predict(batch))
+    assert out.shape == (32, 1)
+
+
+def test_localizer_inference_16x16(benchmark):
+    model = build_localizer_model((16, 15, 1))
+    batch = np.random.default_rng(0).random((16, 16, 15, 1))
+    out = benchmark(lambda: model.predict(batch))
+    assert out.shape == (16, 16, 15, 1)
+
+
+def test_detector_training_step_8x8(benchmark):
+    from repro.nn import Adam, BinaryCrossEntropy
+
+    model = build_detector_model((8, 7, 4))
+    loss = BinaryCrossEntropy()
+    optimizer = Adam(learning_rate=0.005)
+    rng = np.random.default_rng(0)
+    x = rng.random((32, 8, 7, 4))
+    y = rng.integers(0, 2, size=(32, 1)).astype(float)
+
+    def step():
+        predictions = model.forward(x, training=True)
+        value = loss.forward(predictions, y)
+        model.backward(loss.backward(predictions, y))
+        optimizer.step(model.layers)
+        return value
+
+    assert np.isfinite(benchmark(step))

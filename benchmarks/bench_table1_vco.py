@@ -1,0 +1,47 @@
+"""Table 1: detection | localization with the VCO feature for both tasks.
+
+Paper shape: detection on VCO is strong (avg accuracy 0.98 STP / 0.93 PARSEC)
+but VCO-based localization on traffic-heavy synthetic benchmarks is poor
+(avg localization accuracy 0.53 on STP) because the instantaneous occupancy
+only exposes part of the attacking route.
+
+Known deviation of this reproduction: VCO here is the Garnet-style
+window-averaged occupancy (the instantaneous snapshot was not informative
+enough on the simplified simulator), so a VCO frame observes the whole
+sampling window and localizes far better than the paper's instantaneous VCO.
+The bench therefore asserts the detection claim and records the localization
+numbers for EXPERIMENTS.md without asserting the paper's degradation.
+"""
+
+from bench_utils import run_once, write_result
+
+from repro.experiments.detection import run_feature_experiment
+from repro.experiments.tables import format_feature_table
+from repro.monitor.features import FeatureKind
+
+
+def test_table1_vco_detection_and_localization(benchmark, experiment_config):
+    result = run_once(
+        benchmark,
+        run_feature_experiment,
+        detection_feature=FeatureKind.VCO,
+        localization_feature=FeatureKind.VCO,
+        config=experiment_config,
+    )
+    text = format_feature_table(
+        result, title="Table 1 reproduction: VCO detection | VCO localization"
+    )
+    detection = result.average_detection(synthetic=True)
+    localization = result.average_localization(synthetic=True)
+    text += (
+        f"\n\nSTP averages: detection acc={detection.accuracy:.3f} "
+        f"prec={detection.precision:.3f} | localization acc={localization.accuracy:.3f} "
+        f"recall={localization.recall:.3f}"
+        f"\npaper (16x16): detection acc=0.98 prec=0.99 | localization acc=0.53"
+    )
+    write_result("table1_vco", text)
+
+    # Shape assertions: VCO detection works well on synthetic traffic.
+    assert detection.accuracy > 0.8
+    assert detection.precision > 0.8
+    assert localization.accuracy > 0.5

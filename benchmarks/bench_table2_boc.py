@@ -1,0 +1,48 @@
+"""Table 2: detection | localization with the BOC feature for both tasks.
+
+Paper shape: BOC (normalised) is the strongest feature — detection accuracy
+>= 0.99 with precision 1.0 on synthetic traffic, and localization accuracy
+0.97, clearly better than VCO-based localization (Table 1).
+
+Known deviation of this reproduction: BOC frames are normalised by their own
+per-frame maximum before inference, which discards the absolute operation
+count that separates attacked from benign windows; BOC *detection* is
+therefore weaker here than in the paper, while BOC *localization* (which only
+needs the route's relative shape) reproduces the paper's strong result and is
+what the chosen Table 3 configuration actually uses BOC for.
+"""
+
+from bench_utils import run_once, write_result
+
+from repro.experiments.detection import run_feature_experiment
+from repro.experiments.tables import format_feature_table
+from repro.monitor.features import FeatureKind
+
+
+def test_table2_boc_detection_and_localization(benchmark, experiment_config):
+    result = run_once(
+        benchmark,
+        run_feature_experiment,
+        detection_feature=FeatureKind.BOC,
+        localization_feature=FeatureKind.BOC,
+        config=experiment_config,
+    )
+    text = format_feature_table(
+        result, title="Table 2 reproduction: BOC detection | BOC localization"
+    )
+    detection = result.average_detection(synthetic=True)
+    localization = result.average_localization(synthetic=True)
+    text += (
+        f"\n\nSTP averages: detection acc={detection.accuracy:.3f} "
+        f"prec={detection.precision:.3f} | localization acc={localization.accuracy:.3f} "
+        f"recall={localization.recall:.3f}"
+        f"\npaper (16x16): detection acc=0.997 prec=1.000 | localization acc=0.973"
+    )
+    write_result("table2_boc", text)
+
+    # Shape assertions: BOC localization — the job BOC has in the final
+    # DL2Fence configuration — is strong; detection on per-frame-normalised
+    # BOC still clears chance by a wide margin.
+    assert localization.accuracy > 0.85
+    assert localization.recall > 0.6
+    assert detection.accuracy > 0.55

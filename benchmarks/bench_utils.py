@@ -1,0 +1,31 @@
+"""Shared helpers for the reproduction benchmarks (imported by bench modules)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a rendered result table and echo it to stdout.
+
+    Benchmarks write their measured tables here so the numbers survive
+    pytest's output capture; EXPERIMENTS.md summarises them next to the
+    paper's published values.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}\n")
+    return path
+
+
+def run_once(bench_fixture, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The first argument is pytest-benchmark's ``benchmark`` fixture; keeping
+    its parameter name distinct lets callers forward a ``benchmark=...``
+    keyword (a workload name) to ``func`` without a collision.
+    """
+    return bench_fixture.pedantic(func, args=args, kwargs=kwargs, iterations=1, rounds=1)

@@ -1,0 +1,19 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper at a reduced
+default scale (8x8 mesh instead of 16x16, shorter sampling windows) so the
+whole suite completes in minutes.  Set ``REPRO_MESH_ROWS=16`` and
+``REPRO_SAMPLE_PERIOD=1000`` to run at the paper's scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    """Benchmark-scale experiment configuration (env-var overridable)."""
+    return ExperimentConfig.from_environment()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Figure 4-style demo: reconstruct attacking routes and pinpoint attackers.
+
+Reproduces the paper's two qualitative localization examples — a single
+attacker flooding a corner victim and two attackers converging on a central
+victim — and prints the fused victim masks, the per-node localization metrics
+and the Table-Like-Method attacker estimates.
+
+Run with:  python examples/attack_localization_demo.py [mesh_rows]
+(mesh_rows defaults to 8; use 16 for the paper's exact node ids 104/192/15/85)
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.localization_examples import (
+    paper_example_scenarios,
+    run_localization_examples,
+)
+
+
+def render_mask(mask: np.ndarray) -> str:
+    """ASCII rendering of a victim mask (row 0 at the bottom, like the paper)."""
+    lines = []
+    for row in np.flipud(mask.astype(int)):
+        lines.append(" ".join("#" if cell else "." for cell in row))
+    return "\n".join(lines)
+
+
+def main() -> None:
+    rows = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    config = ExperimentConfig(rows=rows, scenarios_per_benchmark=2)
+
+    print(f"== DL2Fence localization examples on a {rows}x{rows} mesh ==")
+    for scenario in paper_example_scenarios(rows):
+        print(f"  scenario: {scenario.describe()}")
+    print("\nTraining the pipeline and running both scenarios "
+          "(this simulates several runs)...\n")
+
+    examples = run_localization_examples(config=config)
+    for index, example in enumerate(examples, start=1):
+        report = example.report
+        print(f"--- Example {index}: {example.scenario.describe()} ---")
+        print(f"localization accuracy={report.accuracy:.3f} "
+              f"precision={report.precision:.3f} recall={report.recall:.3f}")
+        print(f"true victims      : {example.true_victims}")
+        print(f"predicted victims : {example.predicted_victims}")
+        print(f"predicted attackers (TLM): {example.predicted_attackers} "
+              f"(true: {list(example.scenario.attackers)})")
+        mask = np.zeros((rows, rows))
+        for node in example.predicted_victims:
+            mask[node // rows, node % rows] = 1
+        print("reconstructed attacking route ('#' = localized victim):")
+        print(render_mask(mask))
+        print()
+
+    print("Paper reference (16x16): example 1 acc/prec/rec = 1/1/1, "
+          "example 2 acc=0.96 prec=1 rec=0.96")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Hardware-overhead analysis: why DL2Fence scales to large NoCs.
+
+Reproduces Figure 5 and the Table 4 overhead comparison analytically:
+
+* the DL2Fence accelerators are a *global* cost (two small CNN engines), so
+  their overhead falls roughly quadratically as the mesh grows;
+* distributed per-router schemes (Sniffer's perceptron, per-router SVMs) pay a
+  constant fraction of every router, so their overhead never amortises.
+
+Run with:  python examples/hardware_overhead_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.core.config import DL2FenceConfig
+from repro.experiments.tables import format_rows
+from repro.hardware import (
+    RELATED_WORKS,
+    dl2fence_overhead,
+    distributed_scheme_overhead,
+    relative_saving,
+)
+
+PAPER = {4: 7.40, 8: 1.90, 16: 0.45, 32: 0.11}
+
+
+def main() -> None:
+    config = DL2FenceConfig.paper_default()
+    sniffer = RELATED_WORKS["sniffer"].hardware_overhead_percent
+    svm = RELATED_WORKS["svm_anomaly"].hardware_overhead_percent
+
+    print("== DL2Fence hardware overhead versus NoC size (Figure 5) ==\n")
+    rows = []
+    reports = {}
+    for size in (4, 8, 16, 32):
+        report = dl2fence_overhead(size, config=config)
+        reports[size] = report
+        rows.append(
+            {
+                "mesh": f"{size}x{size}",
+                "NoC_Mgates": report.noc_area_gates / 1e6,
+                "detector_kgates": report.detector_area_gates / 1e3,
+                "localizer_kgates": report.localizer_area_gates / 1e3,
+                "DL2Fence_overhead_%": report.overhead_percent,
+                "paper_%": PAPER[size],
+                "Sniffer_per_router_%": sniffer,
+                "per_router_SVM_%": svm,
+            }
+        )
+    print(format_rows(rows))
+
+    saving_scale = relative_saving(
+        reports[16].overhead_fraction, reports[8].overhead_fraction
+    )
+    saving_sniffer = relative_saving(reports[8].overhead_fraction, sniffer / 100)
+    print(f"\nOverhead decrease from 8x8 to 16x16: {saving_scale:.1%} (paper: 76.3%)")
+    print(f"Hardware saving vs Sniffer at 8x8  : {saving_sniffer:.1%} (paper: 42.4%)")
+
+    print("\n== Why the trend holds ==")
+    print("The two CNN accelerators cost a few hundred kilogates regardless of the")
+    print("mesh size (weights + a 3-kernel pipelined MAC array), while the NoC fabric")
+    print("grows with the number of routers.  Distributed schemes instead replicate")
+    print("their detector in every router:")
+    rows = []
+    for size in (8, 16, 32):
+        rows.append(
+            {
+                "mesh": f"{size}x{size}",
+                "DL2Fence_%": dl2fence_overhead(size, config=config).overhead_percent,
+                "distributed_perceptron_%": 100
+                * distributed_scheme_overhead(size, sniffer / 100),
+            }
+        )
+    print(format_rows(rows))
+
+
+if __name__ == "__main__":
+    main()

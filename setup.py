@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Metadata lives in ``pyproject.toml``; this file exists so the package can be
+installed editable (``pip install -e . --no-use-pep517 --no-build-isolation``)
+in fully offline environments that lack the ``wheel`` package required by the
+PEP 660 editable-install path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""Baseline DoS detectors used for the Table 4 comparison.
+
+The paper compares DL2Fence against three ML-based related works — the
+perceptron-based "Sniffer" [Sinha et al.], an SVM-based detector
+[Kulkarni et al.] and an XGBoost-based detector [Sudusinghe et al.] — plus the
+traditional threshold-style schemes of the non-ML literature.  None of those
+code bases are available, so this package implements equivalent classifiers
+from scratch on top of NumPy; they all consume the same flattened feature
+frames as DL2Fence's detector so the comparison isolates the model choice.
+"""
+
+from repro.baselines.base import BaselineDetector, flatten_frames
+from repro.baselines.perceptron import PerceptronDetector
+from repro.baselines.svm import LinearSVMDetector
+from repro.baselines.gradient_boosting import DecisionStump, GradientBoostingDetector
+from repro.baselines.threshold import ThresholdDetector
+
+__all__ = [
+    "BaselineDetector",
+    "DecisionStump",
+    "GradientBoostingDetector",
+    "LinearSVMDetector",
+    "PerceptronDetector",
+    "ThresholdDetector",
+    "flatten_frames",
+]

@@ -1,0 +1,62 @@
+"""Shared interface of the baseline detectors."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.nn.metrics import ClassificationReport
+
+__all__ = ["flatten_frames", "BaselineDetector"]
+
+
+def flatten_frames(inputs: np.ndarray) -> np.ndarray:
+    """Flatten (N, H, W, C) frame stacks into (N, H*W*C) feature vectors.
+
+    All baselines are frame-global classifiers without spatial structure, so
+    they consume the same detector inputs as DL2Fence but flattened.
+    """
+    inputs = np.asarray(inputs, dtype=np.float64)
+    if inputs.ndim == 2:
+        return inputs
+    return inputs.reshape(inputs.shape[0], -1)
+
+
+class BaselineDetector(ABC):
+    """A binary DoS detector trained on flattened feature frames."""
+
+    name = "baseline"
+
+    @abstractmethod
+    def fit(self, inputs: np.ndarray, labels: np.ndarray) -> "BaselineDetector":
+        """Train on (N, ...) inputs with (N,) or (N, 1) binary labels."""
+
+    @abstractmethod
+    def predict_proba(self, inputs: np.ndarray) -> np.ndarray:
+        """Attack scores in [0, 1] for each input sample."""
+
+    def predict(self, inputs: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Binary attack decision per sample."""
+        return (self.predict_proba(inputs) >= threshold).astype(np.int64)
+
+    def evaluate(self, inputs: np.ndarray, labels: np.ndarray) -> ClassificationReport:
+        """Detection metrics on a labelled dataset."""
+        labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+        return ClassificationReport.from_predictions(labels, self.predict_proba(inputs))
+
+    # -- hardware accounting ------------------------------------------------
+    @property
+    @abstractmethod
+    def num_parameters(self) -> int:
+        """Number of trained scalar parameters (for the overhead comparison)."""
+
+    @staticmethod
+    def _prepare(inputs: np.ndarray, labels: np.ndarray | None = None):
+        features = flatten_frames(inputs)
+        if labels is None:
+            return features
+        labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+        if labels.shape[0] != features.shape[0]:
+            raise ValueError("inputs and labels must align")
+        return features, labels

@@ -1,0 +1,73 @@
+"""Perceptron baseline (the "Sniffer" comparator).
+
+Sinha et al. integrate a perceptron model into every router of an 8x8 NoC.
+This baseline trains a single logistic perceptron (one weight per flattened
+frame pixel) with gradient descent; it is the smallest possible ML detector
+and the reference point for the paper's 42.4% hardware-saving claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineDetector
+
+__all__ = ["PerceptronDetector"]
+
+
+class PerceptronDetector(BaselineDetector):
+    """Single-layer logistic perceptron over flattened feature frames."""
+
+    name = "perceptron"
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        epochs: int = 200,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        if learning_rate <= 0 or epochs <= 0:
+            raise ValueError("learning_rate and epochs must be positive")
+        if l2 < 0:
+            raise ValueError("l2 must be non-negative")
+        self.learning_rate = float(learning_rate)
+        self.epochs = int(epochs)
+        self.l2 = float(l2)
+        self.seed = int(seed)
+        self.weights: np.ndarray | None = None
+        self.bias = 0.0
+
+    @staticmethod
+    def _sigmoid(values: np.ndarray) -> np.ndarray:
+        out = np.empty_like(values)
+        positive = values >= 0
+        out[positive] = 1.0 / (1.0 + np.exp(-values[positive]))
+        exp_v = np.exp(values[~positive])
+        out[~positive] = exp_v / (1.0 + exp_v)
+        return out
+
+    def fit(self, inputs: np.ndarray, labels: np.ndarray) -> "PerceptronDetector":
+        features, labels = self._prepare(inputs, labels)
+        rng = np.random.default_rng(self.seed)
+        n_samples, n_features = features.shape
+        self.weights = rng.normal(0.0, 0.01, size=n_features)
+        self.bias = 0.0
+        for _ in range(self.epochs):
+            scores = self._sigmoid(features @ self.weights + self.bias)
+            error = scores - labels
+            grad_w = features.T @ error / n_samples + self.l2 * self.weights
+            grad_b = float(error.mean())
+            self.weights -= self.learning_rate * grad_w
+            self.bias -= self.learning_rate * grad_b
+        return self
+
+    def predict_proba(self, inputs: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("fit the detector before predicting")
+        features = self._prepare(inputs)
+        return self._sigmoid(features @ self.weights + self.bias)
+
+    @property
+    def num_parameters(self) -> int:
+        return 0 if self.weights is None else int(self.weights.size) + 1

@@ -1,0 +1,74 @@
+"""Linear SVM baseline (the Kulkarni et al. comparator).
+
+Trained with sub-gradient descent on the L2-regularised hinge loss.  The
+decision value is squashed through a sigmoid so :meth:`predict_proba` returns
+scores comparable to the other baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineDetector
+
+__all__ = ["LinearSVMDetector"]
+
+
+class LinearSVMDetector(BaselineDetector):
+    """Soft-margin linear SVM over flattened feature frames."""
+
+    name = "svm"
+
+    def __init__(
+        self,
+        learning_rate: float = 0.05,
+        epochs: int = 300,
+        regularization: float = 1e-3,
+        seed: int = 0,
+    ) -> None:
+        if learning_rate <= 0 or epochs <= 0:
+            raise ValueError("learning_rate and epochs must be positive")
+        if regularization < 0:
+            raise ValueError("regularization must be non-negative")
+        self.learning_rate = float(learning_rate)
+        self.epochs = int(epochs)
+        self.regularization = float(regularization)
+        self.seed = int(seed)
+        self.weights: np.ndarray | None = None
+        self.bias = 0.0
+
+    def fit(self, inputs: np.ndarray, labels: np.ndarray) -> "LinearSVMDetector":
+        features, labels = self._prepare(inputs, labels)
+        # Hinge loss uses {-1, +1} targets.
+        targets = np.where(labels > 0.5, 1.0, -1.0)
+        rng = np.random.default_rng(self.seed)
+        n_samples, n_features = features.shape
+        self.weights = rng.normal(0.0, 0.01, size=n_features)
+        self.bias = 0.0
+        for epoch in range(self.epochs):
+            lr = self.learning_rate / (1.0 + 0.01 * epoch)
+            margins = targets * (features @ self.weights + self.bias)
+            violating = margins < 1.0
+            grad_w = self.regularization * self.weights
+            grad_b = 0.0
+            if violating.any():
+                grad_w -= (targets[violating, None] * features[violating]).mean(axis=0)
+                grad_b -= float(targets[violating].mean())
+            self.weights -= lr * grad_w
+            self.bias -= lr * grad_b
+        return self
+
+    def decision_function(self, inputs: np.ndarray) -> np.ndarray:
+        """Raw signed margin for each sample."""
+        if self.weights is None:
+            raise RuntimeError("fit the detector before predicting")
+        features = self._prepare(inputs)
+        return features @ self.weights + self.bias
+
+    def predict_proba(self, inputs: np.ndarray) -> np.ndarray:
+        decision = self.decision_function(inputs)
+        return 1.0 / (1.0 + np.exp(-np.clip(decision, -50, 50)))
+
+    @property
+    def num_parameters(self) -> int:
+        return 0 if self.weights is None else int(self.weights.size) + 1

@@ -1,0 +1,61 @@
+"""Traditional threshold detector (non-ML comparator).
+
+The pre-ML literature detects flooding by comparing monitored quantities
+(packet arrival curves, buffer utilisation) against calibrated thresholds.
+This baseline calibrates a threshold on the maximum (or mean) frame value of
+benign samples and flags any frame whose statistic exceeds it, providing the
+"no machine learning" reference point of the comparison bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineDetector, flatten_frames
+
+__all__ = ["ThresholdDetector"]
+
+
+class ThresholdDetector(BaselineDetector):
+    """Statistic-over-threshold detector calibrated on benign samples."""
+
+    name = "threshold"
+
+    def __init__(self, statistic: str = "max", percentile: float = 99.0) -> None:
+        if statistic not in ("max", "mean"):
+            raise ValueError("statistic must be 'max' or 'mean'")
+        if not 0.0 < percentile <= 100.0:
+            raise ValueError("percentile must be in (0, 100]")
+        self.statistic = statistic
+        self.percentile = float(percentile)
+        self.threshold: float | None = None
+
+    def _statistic(self, inputs: np.ndarray) -> np.ndarray:
+        features = flatten_frames(inputs)
+        if self.statistic == "max":
+            return features.max(axis=1)
+        return features.mean(axis=1)
+
+    def fit(self, inputs: np.ndarray, labels: np.ndarray) -> "ThresholdDetector":
+        labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+        statistics = self._statistic(inputs)
+        benign = statistics[labels < 0.5]
+        if benign.size == 0:
+            # No benign calibration data: fall back to the attack minimum.
+            self.threshold = float(statistics.min())
+        else:
+            self.threshold = float(np.percentile(benign, self.percentile))
+        return self
+
+    def predict_proba(self, inputs: np.ndarray) -> np.ndarray:
+        if self.threshold is None:
+            raise RuntimeError("fit the detector before predicting")
+        statistics = self._statistic(inputs)
+        # Scores ramp smoothly around the threshold so the report thresholding
+        # at 0.5 reproduces the hard decision.
+        scale = max(abs(self.threshold), 1e-9)
+        return 1.0 / (1.0 + np.exp(-(statistics - self.threshold) / (0.1 * scale)))
+
+    @property
+    def num_parameters(self) -> int:
+        return 1

@@ -1,0 +1,49 @@
+"""DL2Fence core: the paper's primary contribution.
+
+The framework has three stages (Figure 2 of the paper):
+
+1. **DoS Detector** — a lightweight CNN classifier over the four directional
+   VCO feature frames (:class:`~repro.core.detector.DoSDetector`);
+2. **DoS Profile Localizer** — a CNN segmentation model over abnormal BOC
+   frames (:class:`~repro.core.localizer.DoSProfileLocalizer`);
+3. **Victims & Attackers Localization** — binarization + zero padding +
+   Multi-Frame Fusion reconstructs the attacking route and all victims
+   (:mod:`~repro.core.frame_fusion`), optionally refined by the Victim
+   Completing Enhancement (:mod:`~repro.core.vce`), and the Table-Like Method
+   pinpoints the attackers (:mod:`~repro.core.tlm`).
+
+:class:`~repro.core.pipeline.DL2Fence` wires the stages into the end-to-end
+online detection/localization loop described in Section 3.
+"""
+
+from repro.core.config import DL2FenceConfig
+from repro.core.detector import DoSDetector, build_detector_model
+from repro.core.frame_fusion import (
+    binarize_frame,
+    fuse_direction_masks,
+    multi_frame_fusion,
+    victims_from_mask,
+)
+from repro.core.localizer import DoSProfileLocalizer, build_localizer_model
+from repro.core.pipeline import DL2Fence, LocalizationResult
+from repro.core.tlm import TableLikeMethod, TLMResult, estimate_attacker_count
+from repro.core.vce import victim_completing_enhancement, estimate_flow_endpoints
+
+__all__ = [
+    "DL2Fence",
+    "DL2FenceConfig",
+    "DoSDetector",
+    "DoSProfileLocalizer",
+    "LocalizationResult",
+    "TLMResult",
+    "TableLikeMethod",
+    "binarize_frame",
+    "build_detector_model",
+    "build_localizer_model",
+    "estimate_attacker_count",
+    "estimate_flow_endpoints",
+    "fuse_direction_masks",
+    "multi_frame_fusion",
+    "victim_completing_enhancement",
+    "victims_from_mask",
+]

@@ -1,0 +1,112 @@
+"""Configuration of the DL2Fence framework.
+
+The configuration captures the design choices discussed in Section 4 of the
+paper — which feature feeds which stage, whether the Victim Completing
+Enhancement is enabled, model capacity, and the various thresholds — so the
+ablation benchmarks can sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.monitor.features import FeatureKind
+
+__all__ = ["DL2FenceConfig"]
+
+
+@dataclass(frozen=True)
+class DL2FenceConfig:
+    """All tunables of the DL2Fence framework.
+
+    Attributes
+    ----------
+    detection_feature, localization_feature:
+        Which runtime feature each stage consumes.  The paper's chosen
+        configuration (Table 3) is VCO for detection and BOC for
+        localization; Tables 1 and 2 are the single-feature ablations.
+    detection_normalization, localization_normalization:
+        Frame normalization applied before model inference.  VCO is already a
+        float in [0, 1] so it defaults to ``"none"``; BOC accumulates integer
+        counts so it defaults to ``"max"``.
+    detection_threshold:
+        Probability above which the detector flags an attack.
+    segmentation_threshold:
+        Per-pixel probability above which the localizer marks a victim.
+    binarization_threshold:
+        Threshold used when binarizing segmentation results before fusion
+        (Algorithm 1, line 2).
+    fusion_mode:
+        ``"union"`` marks a victim when any direction flags it (MFF >= 1);
+        ``"exact"`` follows the literal ``MFF == 1`` of Algorithm 1.
+    enable_vce:
+        Enable the Victim Completing Enhancement (reverse-XY deduction of the
+        complete RPV set).  The paper makes this configurable because it only
+        helps when the initial detection is accurate enough.
+    detector_filters, detector_kernel_size, detector_pool_size:
+        Capacity of the CNN classification model (8 kernels in the paper).
+    localizer_filters, localizer_kernel_size, localizer_conv_layers:
+        Capacity of the CNN segmentation model (two conv layers of 8 kernels
+        in the paper); the depth is exposed for the ablation bench.
+    abnormal_frame_threshold:
+        Minimum number of segmentation-positive pixels for a directional
+        frame to count as "abnormal" (feeds the TLM attacker-count logic).
+    seed:
+        Seed used for model initialisation and training shuffles.
+    """
+
+    detection_feature: FeatureKind = FeatureKind.VCO
+    localization_feature: FeatureKind = FeatureKind.BOC
+    detection_normalization: str = "none"
+    localization_normalization: str = "max"
+    detection_threshold: float = 0.5
+    segmentation_threshold: float = 0.5
+    binarization_threshold: float = 0.5
+    fusion_mode: str = "union"
+    enable_vce: bool = False
+    detector_filters: int = 8
+    detector_kernel_size: int = 3
+    detector_pool_size: int = 2
+    localizer_filters: int = 8
+    localizer_kernel_size: int = 3
+    localizer_conv_layers: int = 2
+    abnormal_frame_threshold: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.detection_threshold < 1.0:
+            raise ValueError("detection_threshold must be in (0, 1)")
+        if not 0.0 < self.segmentation_threshold < 1.0:
+            raise ValueError("segmentation_threshold must be in (0, 1)")
+        if not 0.0 < self.binarization_threshold < 1.0:
+            raise ValueError("binarization_threshold must be in (0, 1)")
+        if self.fusion_mode not in ("union", "exact"):
+            raise ValueError("fusion_mode must be 'union' or 'exact'")
+        if self.detector_filters < 1 or self.localizer_filters < 1:
+            raise ValueError("filter counts must be >= 1")
+        if self.localizer_conv_layers < 1:
+            raise ValueError("localizer_conv_layers must be >= 1")
+        if self.abnormal_frame_threshold < 1:
+            raise ValueError("abnormal_frame_threshold must be >= 1")
+
+    # -- convenience ------------------------------------------------------
+    def with_features(
+        self, detection: FeatureKind, localization: FeatureKind
+    ) -> "DL2FenceConfig":
+        """Copy of the config with a different feature assignment.
+
+        Normalization defaults follow the feature: VCO needs none, BOC is
+        max-normalised (Section 4 of the paper).
+        """
+        return replace(
+            self,
+            detection_feature=detection,
+            localization_feature=localization,
+            detection_normalization="none" if detection is FeatureKind.VCO else "max",
+            localization_normalization="none" if localization is FeatureKind.VCO else "max",
+        )
+
+    @classmethod
+    def paper_default(cls) -> "DL2FenceConfig":
+        """The configuration evaluated in Table 3: VCO detection + BOC localization."""
+        return cls()

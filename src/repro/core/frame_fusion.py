@@ -1,0 +1,105 @@
+"""Multi-Frame Fusion (MFF): reconstructing the attacking route.
+
+Implements Algorithm 1 of the paper: every abnormal segmentation result is
+binarized, zero-padded back to the full mesh geometry, and summed; nodes with
+a positive fused value are the identified victims (the target victim plus all
+Routing-Path Victims).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.monitor.frames import from_canonical, pad_to_full_mesh
+from repro.noc.topology import Direction, MeshTopology
+
+__all__ = [
+    "binarize_frame",
+    "multi_frame_fusion",
+    "fuse_direction_masks",
+    "victims_from_mask",
+]
+
+
+def binarize_frame(frame: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+    """Binarize a segmentation result (Algorithm 1, line 2)."""
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be in (0, 1)")
+    frame = np.asarray(frame, dtype=np.float64)
+    return (frame >= threshold).astype(np.float64)
+
+
+def multi_frame_fusion(full_frames: list[np.ndarray], mode: str = "union") -> np.ndarray:
+    """Fuse already-padded full-mesh binary frames into one victim mask.
+
+    ``mode="union"`` marks a node as victim when *any* direction flagged it
+    (MFF >= 1); ``mode="exact"`` follows the literal ``MFF == 1`` reading of
+    Algorithm 1, which drops nodes flagged by two directions simultaneously
+    (e.g. route turning points seen from both legs).
+    """
+    if not full_frames:
+        raise ValueError("at least one frame is required for fusion")
+    shape = full_frames[0].shape
+    accumulator = np.zeros(shape, dtype=np.float64)
+    for frame in full_frames:
+        frame = np.asarray(frame, dtype=np.float64)
+        if frame.shape != shape:
+            raise ValueError("all fused frames must share the same shape")
+        accumulator += frame
+    if mode == "union":
+        return (accumulator >= 1.0).astype(np.float64)
+    if mode == "exact":
+        return (accumulator == 1.0).astype(np.float64)
+    raise ValueError("mode must be 'union' or 'exact'")
+
+
+def fuse_direction_masks(
+    masks: dict[Direction, np.ndarray],
+    topology: MeshTopology,
+    threshold: float = 0.5,
+    mode: str = "union",
+    canonical: bool = True,
+) -> np.ndarray:
+    """Binarize, un-rotate, zero-pad and fuse per-direction segmentation masks.
+
+    Parameters
+    ----------
+    masks:
+        Mapping of direction to segmentation output.  Masks may be in the
+        canonical (CNN) orientation (``canonical=True``, the default — this
+        is what the localizer produces) or already in the natural directional
+        orientation.
+    topology:
+        Mesh geometry used for zero padding.
+    threshold:
+        Binarization threshold.
+    mode:
+        Fusion mode, see :func:`multi_frame_fusion`.
+    """
+    if not masks:
+        raise ValueError("no direction masks to fuse")
+    full_frames = []
+    for direction, mask in masks.items():
+        mask = np.asarray(mask, dtype=np.float64)
+        if mask.ndim == 3 and mask.shape[-1] == 1:
+            mask = mask[..., 0]
+        binary = binarize_frame(mask, threshold)
+        natural = from_canonical(binary, direction) if canonical else binary
+        full_frames.append(pad_to_full_mesh(natural, topology, direction))
+    return multi_frame_fusion(full_frames, mode=mode)
+
+
+def victims_from_mask(mask: np.ndarray, topology: MeshTopology) -> list[int]:
+    """Node ids flagged as victims in a full-mesh binary mask.
+
+    Mirrors Algorithm 1's ``Where(MFF == 1)`` followed by ``Get_Node_ID``:
+    mask rows index the mesh Y coordinate and columns the X coordinate.
+    """
+    mask = np.asarray(mask, dtype=np.float64)
+    if mask.shape != (topology.rows, topology.columns):
+        raise ValueError(
+            f"mask shape {mask.shape} does not match mesh "
+            f"{(topology.rows, topology.columns)}"
+        )
+    rows, cols = np.nonzero(mask > 0.5)
+    return sorted(topology.node_id(int(x), int(y)) for y, x in zip(rows, cols))

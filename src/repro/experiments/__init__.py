@@ -1,0 +1,43 @@
+"""Experiment harness: drivers that regenerate the paper's tables and figures.
+
+Every table and figure of the evaluation section has a driver here; the
+``benchmarks/`` directory wraps these drivers in pytest-benchmark entries and
+``EXPERIMENTS.md`` records the measured outputs next to the paper's values.
+
+* Figure 1 — :mod:`repro.experiments.latency_sweep`
+* Tables 1-3 — :mod:`repro.experiments.detection`
+* Figure 4 — :mod:`repro.experiments.localization_examples`
+* Figure 5 — :mod:`repro.experiments.overhead_sweep`
+* Table 4 — :mod:`repro.experiments.comparison`
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.detection import (
+    BenchmarkResult,
+    FeatureExperimentResult,
+    run_feature_experiment,
+)
+from repro.experiments.latency_sweep import LatencyPoint, run_latency_sweep
+from repro.experiments.localization_examples import (
+    LocalizationExample,
+    run_localization_examples,
+)
+from repro.experiments.overhead_sweep import run_overhead_sweep
+from repro.experiments.comparison import ComparisonRow, run_comparison
+from repro.experiments.tables import format_feature_table, format_rows
+
+__all__ = [
+    "BenchmarkResult",
+    "ComparisonRow",
+    "ExperimentConfig",
+    "FeatureExperimentResult",
+    "LatencyPoint",
+    "LocalizationExample",
+    "format_feature_table",
+    "format_rows",
+    "run_comparison",
+    "run_feature_experiment",
+    "run_latency_sweep",
+    "run_localization_examples",
+    "run_overhead_sweep",
+]

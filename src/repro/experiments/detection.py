@@ -1,0 +1,164 @@
+"""Tables 1-3: detection and localization per benchmark and feature set.
+
+The paper reports, for every benchmark (6 synthetic traffic patterns and 3
+PARSEC workloads), the frame-level detection metrics and the node-level
+localization metrics of DL2Fence under three feature assignments:
+
+* Table 1 — VCO for both detection and localization;
+* Table 2 — BOC for both;
+* Table 3 — the chosen configuration: VCO detection, BOC localization.
+
+:func:`run_feature_experiment` reproduces one such table: it simulates
+training and evaluation runs with disjoint seeds, trains the two CNNs on the
+training runs, and evaluates per benchmark on the evaluation runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import DL2FenceConfig
+from repro.core.pipeline import DL2Fence
+from repro.experiments.config import ExperimentConfig
+from repro.monitor.dataset import DatasetBuilder, ScenarioRun
+from repro.monitor.features import FeatureKind
+from repro.nn.metrics import ClassificationReport
+from repro.traffic.scenario import benchmark_names
+from repro.traffic.synthetic import SYNTHETIC_PATTERNS
+
+__all__ = ["BenchmarkResult", "FeatureExperimentResult", "run_feature_experiment"]
+
+
+@dataclass
+class BenchmarkResult:
+    """Detection + localization metrics for one benchmark."""
+
+    benchmark: str
+    detection: ClassificationReport
+    localization: ClassificationReport | None
+
+    @property
+    def is_synthetic(self) -> bool:
+        return self.benchmark in SYNTHETIC_PATTERNS
+
+
+def _average_reports(reports: list[ClassificationReport]) -> ClassificationReport:
+    """Unweighted average of several reports (how the paper averages columns)."""
+    if not reports:
+        raise ValueError("cannot average an empty list of reports")
+    return ClassificationReport(
+        accuracy=float(np.mean([r.accuracy for r in reports])),
+        precision=float(np.mean([r.precision for r in reports])),
+        recall=float(np.mean([r.recall for r in reports])),
+        f1=float(np.mean([r.f1 for r in reports])),
+        support=int(sum(r.support for r in reports)),
+    )
+
+
+@dataclass
+class FeatureExperimentResult:
+    """Everything produced by one table run (Table 1, 2 or 3)."""
+
+    detection_feature: FeatureKind
+    localization_feature: FeatureKind
+    per_benchmark: list[BenchmarkResult] = field(default_factory=list)
+
+    def result_for(self, benchmark: str) -> BenchmarkResult:
+        for result in self.per_benchmark:
+            if result.benchmark == benchmark:
+                return result
+        raise KeyError(f"no result for benchmark {benchmark!r}")
+
+    def _group(self, synthetic: bool) -> list[BenchmarkResult]:
+        return [r for r in self.per_benchmark if r.is_synthetic == synthetic]
+
+    def average_detection(self, synthetic: bool | None = None) -> ClassificationReport:
+        """Average detection metrics (optionally only STP or only PARSEC)."""
+        results = (
+            self.per_benchmark if synthetic is None else self._group(synthetic)
+        )
+        return _average_reports([r.detection for r in results])
+
+    def average_localization(self, synthetic: bool | None = None) -> ClassificationReport:
+        """Average localization metrics (optionally only STP or only PARSEC)."""
+        results = (
+            self.per_benchmark if synthetic is None else self._group(synthetic)
+        )
+        reports = [r.localization for r in results if r.localization is not None]
+        return _average_reports(reports)
+
+
+def _runs_by_benchmark(runs: list[ScenarioRun]) -> dict[str, list[ScenarioRun]]:
+    grouped: dict[str, list[ScenarioRun]] = {}
+    for run in runs:
+        grouped.setdefault(run.benchmark, []).append(run)
+    return grouped
+
+
+def run_feature_experiment(
+    detection_feature: FeatureKind = FeatureKind.VCO,
+    localization_feature: FeatureKind = FeatureKind.BOC,
+    benchmarks: list[str] | None = None,
+    config: ExperimentConfig | None = None,
+    enable_vce: bool = False,
+) -> FeatureExperimentResult:
+    """Train DL2Fence on one feature assignment and evaluate per benchmark."""
+    config = config or ExperimentConfig()
+    if benchmarks is None:
+        benchmarks = benchmark_names()
+
+    fence_config = DL2FenceConfig(seed=config.seed, enable_vce=enable_vce).with_features(
+        detection_feature, localization_feature
+    )
+
+    train_builder = DatasetBuilder(config.dataset_config(seed_offset=0))
+    eval_builder = DatasetBuilder(config.dataset_config(seed_offset=1000))
+
+    train_runs = train_builder.build_runs(
+        benchmarks=benchmarks,
+        scenarios_per_benchmark=config.scenarios_per_benchmark,
+        seed=config.seed,
+    )
+    eval_runs = eval_builder.build_runs(
+        benchmarks=benchmarks,
+        scenarios_per_benchmark=config.scenarios_per_benchmark,
+        seed=config.seed + 5000,
+    )
+
+    fence = DL2Fence(train_builder.topology, fence_config)
+    fence.fit_from_runs(
+        train_builder,
+        train_runs,
+        detector_epochs=config.detector_epochs,
+        localizer_epochs=config.localizer_epochs,
+    )
+
+    result = FeatureExperimentResult(
+        detection_feature=detection_feature,
+        localization_feature=localization_feature,
+    )
+    eval_by_benchmark = _runs_by_benchmark(eval_runs)
+    for benchmark in benchmarks:
+        runs = eval_by_benchmark.get(benchmark, [])
+        if not runs:
+            continue
+        detection_dataset = eval_builder.detection_dataset(
+            runs,
+            feature=detection_feature,
+            normalize=fence_config.detection_normalization,
+        )
+        detection_report = fence.evaluate_detection(detection_dataset)
+        attacked = [run for run in runs if run.is_attack]
+        localization_report = (
+            fence.evaluate_localization(attacked) if attacked else None
+        )
+        result.per_benchmark.append(
+            BenchmarkResult(
+                benchmark=benchmark,
+                detection=detection_report,
+                localization=localization_report,
+            )
+        )
+    return result

@@ -1,0 +1,107 @@
+"""Figure 1 (right): system latency versus Flooding Injection Rate.
+
+The paper overlays the FDoS attack on benign workload traffic and sweeps the
+FIR from 0 (attack disabled) to 1 (system crash), reporting packet latency,
+flit latency and their queueing components of the *benign* traffic.  Latency
+should grow slowly at low FIR, explode as the NoC approaches saturation, and
+the delivery ratio should collapse at FIR close to 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.experiments.config import ExperimentConfig
+from repro.monitor.dataset import DatasetBuilder
+from repro.noc.simulator import NoCSimulator
+from repro.noc.topology import MeshTopology
+from repro.traffic.flooding import FloodingAttacker, FloodingConfig
+from repro.traffic.scenario import ScenarioGenerator
+
+__all__ = ["LatencyPoint", "run_latency_sweep"]
+
+
+@dataclass
+class LatencyPoint:
+    """Benign-traffic latency metrics at one FIR operating point."""
+
+    fir: float
+    packet_latency: float
+    packet_queue_latency: float
+    flit_latency: float
+    flit_queue_latency: float
+    delivery_ratio: float
+    delivered_packets: int
+
+    def as_dict(self) -> dict:
+        return {
+            "fir": self.fir,
+            "packet_latency": self.packet_latency,
+            "packet_queue_latency": self.packet_queue_latency,
+            "flit_latency": self.flit_latency,
+            "flit_queue_latency": self.flit_queue_latency,
+            "delivery_ratio": self.delivery_ratio,
+            "delivered_packets": self.delivered_packets,
+        }
+
+
+def run_latency_sweep(
+    firs: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+    benchmark: str = "blackscholes",
+    config: ExperimentConfig | None = None,
+    cycles: int | None = None,
+    num_attackers: int = 1,
+) -> list[LatencyPoint]:
+    """Sweep the FIR and measure benign-traffic latency at each point.
+
+    The benign workload, attacker placement and measurement window are held
+    constant across the sweep; only the FIR changes, mirroring the
+    latency-vs-FIR curve of Figure 1.
+
+    Source queues are made effectively unbounded for this experiment: in the
+    paper's threat model the benign application is never paused, only slowed
+    down, so benign packets sharing an attacker's network interface must wait
+    behind the flood rather than being dropped — that queueing is exactly the
+    "packet queue latency" curve of Figure 1.
+    """
+    config = config or ExperimentConfig()
+    if cycles is None:
+        cycles = config.warmup_cycles + config.sample_period * config.samples_per_run
+    topology = MeshTopology(rows=config.rows)
+    generator = ScenarioGenerator(topology, seed=config.seed)
+    scenario = generator.random_scenario(
+        num_attackers=num_attackers, fir=1.0, benchmark=benchmark
+    )
+    builder = DatasetBuilder(config.dataset_config())
+    simulation_config = replace(
+        config.dataset_config().simulation_config(), source_queue_capacity=200_000
+    )
+
+    points = []
+    for fir in firs:
+        simulator = NoCSimulator(simulation_config)
+        simulator.add_source(builder.make_workload(benchmark, seed=config.seed))
+        if fir > 0.0:
+            attacker = FloodingAttacker(
+                FloodingConfig(
+                    attackers=scenario.attackers, victim=scenario.victim, fir=fir
+                ),
+                topology,
+                seed=config.seed + 1,
+            )
+            simulator.add_source(attacker)
+        simulator.run(cycles)
+        simulator.drain(max_cycles=12 * cycles)
+        latency = simulator.latency(benign_only=True)
+        points.append(
+            LatencyPoint(
+                fir=fir,
+                packet_latency=latency.packet_latency,
+                packet_queue_latency=latency.packet_queue_latency,
+                flit_latency=latency.flit_latency,
+                flit_queue_latency=latency.flit_queue_latency,
+                delivery_ratio=simulator.stats.delivery_ratio,
+                delivered_packets=latency.delivered_packets,
+            )
+        )
+    return points

@@ -1,0 +1,54 @@
+"""Figure 5: hardware overhead versus NoC size.
+
+Thin wrapper around :mod:`repro.hardware` that also evaluates the two claims
+attached to the figure in the paper text: the ~76% overhead decrease between
+8x8 and 16x16 and the >40% saving against the distributed perceptron scheme
+at 8x8.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import DL2FenceConfig
+from repro.hardware.overhead import (
+    OverheadReport,
+    overhead_vs_mesh_size,
+    relative_saving,
+)
+from repro.hardware.related_works import RELATED_WORKS
+
+__all__ = ["run_overhead_sweep"]
+
+PAPER_OVERHEAD_PERCENT = {4: 7.40, 8: 1.90, 16: 0.45, 32: 0.11}
+
+
+def run_overhead_sweep(
+    sizes: tuple[int, ...] = (4, 8, 16, 32),
+    config: DL2FenceConfig | None = None,
+) -> dict:
+    """Run the Figure 5 sweep and derive the headline hardware claims.
+
+    Returns a dictionary with the per-size :class:`OverheadReport` list, the
+    paper's reference percentages, the 8x8 -> 16x16 relative saving and the
+    saving against the Sniffer per-router scheme at 8x8.
+    """
+    reports: list[OverheadReport] = overhead_vs_mesh_size(sizes, config=config)
+    by_rows = {report.rows: report for report in reports}
+    summary: dict = {
+        "reports": reports,
+        "paper_percent": {
+            rows: PAPER_OVERHEAD_PERCENT.get(rows) for rows in sizes
+        },
+        "measured_percent": {report.rows: report.overhead_percent for report in reports},
+    }
+    if 8 in by_rows and 16 in by_rows:
+        summary["saving_8_to_16"] = relative_saving(
+            by_rows[16].overhead_fraction, by_rows[8].overhead_fraction
+        )
+        summary["paper_saving_8_to_16"] = 0.763
+    if 8 in by_rows:
+        sniffer = RELATED_WORKS["sniffer"].hardware_overhead_percent / 100.0
+        summary["saving_vs_sniffer_8x8"] = relative_saving(
+            by_rows[8].overhead_fraction, sniffer
+        )
+        summary["paper_saving_vs_sniffer"] = 0.424
+    return summary

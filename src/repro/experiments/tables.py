@@ -1,0 +1,92 @@
+"""Plain-text table formatting for the experiment drivers.
+
+The benchmark harness prints the same rows/columns the paper reports so the
+reproduction can be compared side-by-side with the published tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.experiments.detection import FeatureExperimentResult
+from repro.traffic.parsec import PARSEC_WORKLOADS
+from repro.traffic.synthetic import SYNTHETIC_PATTERNS
+
+__all__ = ["format_rows", "format_feature_table"]
+
+
+def _format_cell(value) -> str:
+    if value is None:
+        return "N/A"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_rows(rows: Iterable[Mapping], columns: list[str] | None = None) -> str:
+    """Format an iterable of dict rows into an aligned plain-text table."""
+    rows = [dict(row) for row in rows]
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[_format_cell(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in rendered)) for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = [
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def format_feature_table(result: FeatureExperimentResult, title: str = "") -> str:
+    """Render one Table 1/2/3-style table: metrics per benchmark + averages.
+
+    Each cell shows ``detection | localization`` exactly like the paper's
+    "Detection results (left) | Localization results (right)" layout.
+    """
+    metrics = ["accuracy", "precision", "recall", "f1"]
+    benchmark_order = [
+        r.benchmark
+        for r in result.per_benchmark
+        if r.benchmark in SYNTHETIC_PATTERNS
+    ] + [r.benchmark for r in result.per_benchmark if r.benchmark in PARSEC_WORKLOADS]
+
+    rows = []
+    for metric in metrics:
+        row: dict = {"metric": metric}
+        for benchmark in benchmark_order:
+            entry = result.result_for(benchmark)
+            det = getattr(entry.detection, metric)
+            loc = (
+                getattr(entry.localization, metric)
+                if entry.localization is not None
+                else None
+            )
+            loc_text = f"{loc:.2f}" if loc is not None else "N/A"
+            row[benchmark] = f"{det:.2f}|{loc_text}"
+        try:
+            stp_det = getattr(result.average_detection(synthetic=True), metric)
+            stp_loc = getattr(result.average_localization(synthetic=True), metric)
+            row["STP avg"] = f"{stp_det:.3f}|{stp_loc:.3f}"
+        except ValueError:
+            row["STP avg"] = "N/A"
+        try:
+            parsec_det = getattr(result.average_detection(synthetic=False), metric)
+            parsec_loc = getattr(result.average_localization(synthetic=False), metric)
+            row["PARSEC avg"] = f"{parsec_det:.3f}|{parsec_loc:.3f}"
+        except ValueError:
+            row["PARSEC avg"] = "N/A"
+        rows.append(row)
+
+    heading = title or (
+        f"Detection on {result.detection_feature.value.upper()} | "
+        f"Localization on {result.localization_feature.value.upper()}"
+    )
+    return heading + "\n" + format_rows(rows)

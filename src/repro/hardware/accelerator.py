@@ -1,0 +1,84 @@
+"""Area model of the pipelined CNN accelerators.
+
+The paper implements the detector and localizer as lightweight accelerators
+"with minimized logic usage, incorporating three convolutional kernels in a
+pipeline architecture".  The accelerator area therefore consists of:
+
+* weight/bias storage for every trained parameter (fixed-point);
+* a small array of MAC (multiply-accumulate) units — three kernels' worth of
+  pipelined MACs, reused across the feature map;
+* line buffers holding the input rows a 3x3 convolution window needs;
+* fixed control / activation / pooling logic.
+
+This is a *global* (single-instance) cost: unlike the distributed per-router
+schemes it does not grow with the NoC, which is the whole point of Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.model import Sequential
+
+__all__ = ["AcceleratorParameters", "CNNAcceleratorAreaModel"]
+
+
+@dataclass(frozen=True)
+class AcceleratorParameters:
+    """Implementation parameters of a CNN accelerator."""
+
+    weight_bits: int = 16
+    activation_bits: int = 16
+    pipelined_kernels: int = 3
+    macs_per_kernel: int = 9  # a 3x3 kernel's multiply-accumulate lane
+    gates_per_weight_bit: float = 1.5  # SRAM-based weight storage
+    gates_per_mac: float = 900.0
+    gates_per_line_buffer_bit: float = 4.0
+    control_gates: float = 9_000.0
+
+    def __post_init__(self) -> None:
+        if self.weight_bits < 1 or self.activation_bits < 1:
+            raise ValueError("bit widths must be positive")
+        if self.pipelined_kernels < 1 or self.macs_per_kernel < 1:
+            raise ValueError("kernel/MAC counts must be positive")
+
+
+class CNNAcceleratorAreaModel:
+    """Gate-equivalent area of one CNN accelerator."""
+
+    def __init__(self, params: AcceleratorParameters | None = None) -> None:
+        self.params = params or AcceleratorParameters()
+
+    def weight_storage_area(self, num_parameters: int) -> float:
+        """Storage for all trained weights and biases."""
+        if num_parameters < 0:
+            raise ValueError("num_parameters must be non-negative")
+        return num_parameters * self.params.weight_bits * self.params.gates_per_weight_bit
+
+    def mac_array_area(self) -> float:
+        """The pipelined MAC array (independent of the model size)."""
+        return (
+            self.params.pipelined_kernels
+            * self.params.macs_per_kernel
+            * self.params.gates_per_mac
+        )
+
+    def line_buffer_area(self, frame_width: int, kernel_size: int = 3) -> float:
+        """Line buffers holding ``kernel_size - 1`` input rows of the frame."""
+        if frame_width < 1:
+            raise ValueError("frame_width must be positive")
+        bits = (kernel_size - 1) * frame_width * self.params.activation_bits
+        return bits * self.params.gates_per_line_buffer_bit
+
+    def accelerator_area(self, num_parameters: int, frame_width: int) -> float:
+        """Total gate count of one accelerator instance."""
+        return (
+            self.weight_storage_area(num_parameters)
+            + self.mac_array_area()
+            + self.line_buffer_area(frame_width)
+            + self.params.control_gates
+        )
+
+    def area_for_model(self, model: Sequential, frame_width: int) -> float:
+        """Accelerator area for a built :class:`Sequential` model."""
+        return self.accelerator_area(model.num_parameters, frame_width)

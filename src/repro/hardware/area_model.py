@@ -1,0 +1,105 @@
+"""Gate-equivalent area model of the NoC fabric.
+
+Router area is dominated by the input buffers (one flip-flop plus mux per
+stored bit), followed by the crossbar and the VC/switch allocators; every
+router also carries a network interface on its local port.  The model works
+in gate equivalents (NAND2-equivalent gates), the conventional technology-
+independent unit for this kind of estimate, and accounts for the fact that
+edge and corner routers have fewer ports — exactly the effect that makes a
+mesh NoC's area grow slightly slower than ``rows * columns``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.noc.topology import MeshTopology
+
+__all__ = ["GateCosts", "RouterParameters", "NoCAreaModel"]
+
+
+@dataclass(frozen=True)
+class GateCosts:
+    """Technology-independent gate-equivalent cost constants."""
+
+    gates_per_buffer_bit: float = 5.0
+    gates_per_crossbar_bit: float = 4.0
+    gates_per_allocator_port: float = 300.0
+    gates_per_routing_logic: float = 400.0
+    gates_per_ni: float = 15_000.0
+    gates_per_link_bit: float = 2.5
+
+    def __post_init__(self) -> None:
+        for name, value in self.__dict__.items():
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class RouterParameters:
+    """Micro-architectural parameters of one router (paper defaults)."""
+
+    num_vcs: int = 4
+    vc_depth: int = 4
+    flit_width_bits: int = 128
+
+    def __post_init__(self) -> None:
+        if self.num_vcs < 1 or self.vc_depth < 1 or self.flit_width_bits < 1:
+            raise ValueError("router parameters must be positive")
+
+
+class NoCAreaModel:
+    """Area of routers, network interfaces and links of a mesh NoC."""
+
+    def __init__(
+        self,
+        router: RouterParameters | None = None,
+        costs: GateCosts | None = None,
+    ) -> None:
+        self.router = router or RouterParameters()
+        self.costs = costs or GateCosts()
+
+    # -- per-component areas ------------------------------------------------
+    def router_area(self, num_ports: int) -> float:
+        """Gate count of a router with ``num_ports`` ports (including local)."""
+        if num_ports < 2:
+            raise ValueError("a router needs at least two ports")
+        router = self.router
+        costs = self.costs
+        buffer_bits = (
+            num_ports * router.num_vcs * router.vc_depth * router.flit_width_bits
+        )
+        buffers = buffer_bits * costs.gates_per_buffer_bit
+        crossbar = num_ports * num_ports * router.flit_width_bits * costs.gates_per_crossbar_bit
+        allocators = num_ports * router.num_vcs * costs.gates_per_allocator_port
+        routing = num_ports * costs.gates_per_routing_logic
+        return buffers + crossbar + allocators + routing
+
+    def network_interface_area(self) -> float:
+        """Gate count of one network interface (local-port packetisation)."""
+        return self.costs.gates_per_ni
+
+    def link_area(self) -> float:
+        """Gate count of one unidirectional inter-router link (repeaters/regs)."""
+        return self.router.flit_width_bits * self.costs.gates_per_link_bit
+
+    # -- whole-NoC area ----------------------------------------------------------
+    def noc_area(self, topology: MeshTopology) -> float:
+        """Total gate count of the NoC fabric (routers + NIs + links).
+
+        Matches the paper's accounting, which excludes the SoC tiles and only
+        synthesises the interconnect.
+        """
+        total = 0.0
+        links = 0
+        for node in topology.nodes():
+            num_ports = topology.degree(node) + 1  # cardinal ports + local
+            total += self.router_area(num_ports)
+            total += self.network_interface_area()
+            links += topology.degree(node)  # one incoming link per cardinal port
+        total += links * self.link_area()
+        return total
+
+    def mesh_area(self, rows: int, columns: int | None = None) -> float:
+        """Convenience wrapper building the topology from dimensions."""
+        return self.noc_area(MeshTopology(rows=rows, columns=columns or rows))

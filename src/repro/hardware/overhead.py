@@ -1,0 +1,135 @@
+"""Overhead calculations: Figure 5 sweep and distributed-scheme comparison."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import DL2FenceConfig
+from repro.core.detector import build_detector_model
+from repro.core.localizer import build_localizer_model
+from repro.hardware.accelerator import AcceleratorParameters, CNNAcceleratorAreaModel
+from repro.hardware.area_model import GateCosts, NoCAreaModel, RouterParameters
+from repro.noc.topology import MeshTopology
+
+__all__ = [
+    "OverheadReport",
+    "dl2fence_overhead",
+    "distributed_scheme_overhead",
+    "overhead_vs_mesh_size",
+    "relative_saving",
+]
+
+
+@dataclass
+class OverheadReport:
+    """Breakdown of a hardware-overhead estimate for one mesh size."""
+
+    rows: int
+    noc_area_gates: float
+    detector_area_gates: float
+    localizer_area_gates: float
+    overhead_fraction: float
+    details: dict = field(default_factory=dict)
+
+    @property
+    def overhead_percent(self) -> float:
+        return 100.0 * self.overhead_fraction
+
+    @property
+    def total_accelerator_gates(self) -> float:
+        return self.detector_area_gates + self.localizer_area_gates
+
+
+def _model_parameter_counts(rows: int, config: DL2FenceConfig) -> tuple[int, int]:
+    """Trainable parameter counts of the two CNNs for a ``rows`` x ``rows`` mesh."""
+    detector = build_detector_model(
+        (rows, rows - 1, 4),
+        filters=config.detector_filters,
+        kernel_size=config.detector_kernel_size,
+        pool_size=config.detector_pool_size,
+        seed=config.seed,
+    )
+    localizer = build_localizer_model(
+        (rows, rows - 1, 1),
+        filters=config.localizer_filters,
+        kernel_size=config.localizer_kernel_size,
+        conv_layers=config.localizer_conv_layers,
+        seed=config.seed,
+    )
+    return detector.num_parameters, localizer.num_parameters
+
+
+def dl2fence_overhead(
+    rows: int,
+    config: DL2FenceConfig | None = None,
+    router: RouterParameters | None = None,
+    costs: GateCosts | None = None,
+    accelerator: AcceleratorParameters | None = None,
+) -> OverheadReport:
+    """Area overhead of the two DL2Fence accelerators on a ``rows`` x ``rows`` NoC.
+
+    Overhead is the accelerator area divided by the NoC fabric area (routers,
+    network interfaces and links, excluding SoC tiles), matching the paper's
+    accounting.
+    """
+    if rows < 4:
+        raise ValueError("the smallest mesh evaluated in the paper is 4x4")
+    config = config or DL2FenceConfig()
+    noc_model = NoCAreaModel(router=router, costs=costs)
+    accel_model = CNNAcceleratorAreaModel(accelerator)
+    topology = MeshTopology(rows=rows)
+
+    noc_area = noc_model.noc_area(topology)
+    detector_params, localizer_params = _model_parameter_counts(rows, config)
+    frame_width = rows - 1
+    detector_area = accel_model.accelerator_area(detector_params, frame_width)
+    localizer_area = accel_model.accelerator_area(localizer_params, frame_width)
+    overhead = (detector_area + localizer_area) / noc_area
+    return OverheadReport(
+        rows=rows,
+        noc_area_gates=noc_area,
+        detector_area_gates=detector_area,
+        localizer_area_gates=localizer_area,
+        overhead_fraction=overhead,
+        details={
+            "detector_parameters": detector_params,
+            "localizer_parameters": localizer_params,
+        },
+    )
+
+
+def distributed_scheme_overhead(
+    rows: int,
+    per_router_overhead_fraction: float,
+) -> float:
+    """Total overhead fraction of a distributed per-router scheme.
+
+    Distributed schemes (Sniffer's per-router perceptron, per-router SVMs)
+    add a fixed fraction to every router, so their overhead is constant in
+    the NoC size — the contrast the paper draws in Section 5.3.
+    """
+    if per_router_overhead_fraction < 0:
+        raise ValueError("per_router_overhead_fraction must be non-negative")
+    if rows < 2:
+        raise ValueError("rows must be >= 2")
+    return per_router_overhead_fraction
+
+
+def overhead_vs_mesh_size(
+    sizes: tuple[int, ...] = (4, 8, 16, 32),
+    config: DL2FenceConfig | None = None,
+    **kwargs,
+) -> list[OverheadReport]:
+    """The Figure 5 sweep: DL2Fence overhead for increasing mesh sizes."""
+    return [dl2fence_overhead(rows, config=config, **kwargs) for rows in sizes]
+
+
+def relative_saving(ours: float, reference: float) -> float:
+    """Relative saving of ``ours`` versus ``reference`` (e.g. 0.424 = 42.4%).
+
+    Used for the paper's two headline hardware claims: the 76.3% overhead
+    decrease from 8x8 to 16x16 and the 42.4% saving against Sniffer at 8x8.
+    """
+    if reference <= 0:
+        raise ValueError("reference must be positive")
+    return (reference - ours) / reference

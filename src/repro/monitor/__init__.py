@@ -1,0 +1,56 @@
+"""Runtime monitoring substrate: feature frames, sampling and datasets.
+
+DL2Fence visualises NoC runtime state as image-like frames (Section 3 of the
+paper).  This package extracts those frames from the simulator:
+
+* :mod:`repro.monitor.features` — raw VCO / BOC extraction per input port;
+* :mod:`repro.monitor.frames` — directional R x (R-1) feature frames, frame
+  sets, binarization and zero-padding to the full mesh geometry;
+* :mod:`repro.monitor.sampler` — the periodic global performance monitor that
+  attaches to a :class:`repro.noc.NoCSimulator`;
+* :mod:`repro.monitor.labeling` — ground-truth masks for detection and
+  segmentation training;
+* :mod:`repro.monitor.dataset` — end-to-end dataset generation across
+  benchmarks and attack scenarios.
+"""
+
+from repro.monitor.features import FeatureKind, extract_feature_frame, normalize_frame
+from repro.monitor.frames import (
+    DirectionalFrame,
+    FrameSample,
+    FrameSet,
+    pad_to_full_mesh,
+)
+from repro.monitor.labeling import (
+    attack_direction_masks,
+    attack_port_loads,
+    victim_mask,
+)
+from repro.monitor.sampler import GlobalPerformanceMonitor, MonitorConfig
+from repro.monitor.dataset import (
+    DatasetBuilder,
+    DatasetConfig,
+    DetectionDataset,
+    LocalizationDataset,
+    ScenarioRun,
+)
+
+__all__ = [
+    "DatasetBuilder",
+    "DatasetConfig",
+    "DetectionDataset",
+    "DirectionalFrame",
+    "FeatureKind",
+    "FrameSample",
+    "FrameSet",
+    "GlobalPerformanceMonitor",
+    "LocalizationDataset",
+    "MonitorConfig",
+    "ScenarioRun",
+    "attack_direction_masks",
+    "attack_port_loads",
+    "extract_feature_frame",
+    "normalize_frame",
+    "pad_to_full_mesh",
+    "victim_mask",
+]

@@ -1,0 +1,105 @@
+"""Raw feature extraction from router input ports.
+
+Two features are monitored, exactly as chosen in Section 4 of the paper:
+
+* **VCO** — Virtual Channel Occupancy: an instantaneous float in [0, 1],
+  the ratio of occupied VCs to total VCs of an input port.  Used for
+  detection because it needs no normalization.
+* **BOC** — Buffer Operation Counts: the number of buffer reads + writes an
+  input port performed during the current sampling window.  An accumulating
+  integer, so it is normalised before being fed to the segmentation model.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.noc.network import MeshNetwork
+from repro.noc.topology import Direction, MeshTopology
+
+__all__ = ["FeatureKind", "extract_feature_frame", "normalize_frame", "frame_shape"]
+
+
+class FeatureKind(str, Enum):
+    """Which runtime feature a frame carries."""
+
+    VCO = "vco"
+    BOC = "boc"
+
+
+def frame_shape(topology: MeshTopology, direction: Direction) -> tuple[int, int]:
+    """Natural (rows, cols) shape of a directional feature frame.
+
+    East/West input ports exist on ``columns - 1`` columns of routers, and
+    North/South ports on ``rows - 1`` rows — hence the paper's R x (R-1)
+    frames on a square mesh.
+    """
+    if direction in (Direction.EAST, Direction.WEST):
+        return topology.rows, topology.columns - 1
+    if direction in (Direction.NORTH, Direction.SOUTH):
+        return topology.rows - 1, topology.columns
+    raise ValueError("feature frames exist only for the four cardinal directions")
+
+
+def _port_coordinates(topology: MeshTopology, direction: Direction, node: int) -> tuple[int, int]:
+    """Frame (row, col) index of a node's ``direction`` input port."""
+    x, y = topology.coordinates(node)
+    if direction is Direction.EAST:
+        return y, x
+    if direction is Direction.WEST:
+        return y, x - 1
+    if direction is Direction.NORTH:
+        return y, x
+    if direction is Direction.SOUTH:
+        return y - 1, x
+    raise ValueError("no frame coordinates for the local port")
+
+
+def extract_feature_frame(
+    network: MeshNetwork, direction: Direction, kind: FeatureKind
+) -> np.ndarray:
+    """Extract one directional feature frame from the live network state.
+
+    The returned array has the natural directional shape of
+    :func:`frame_shape`; rows index the mesh Y coordinate and columns the X
+    coordinate of the router owning the port (shifted for W/S so the frame is
+    dense).
+    """
+    topology = network.topology
+    rows, cols = frame_shape(topology, direction)
+    frame = np.zeros((rows, cols), dtype=np.float64)
+    for node in topology.nodes():
+        router = network.router(node)
+        port = router.port(direction)
+        if port is None:
+            continue
+        row, col = _port_coordinates(topology, direction, node)
+        if kind is FeatureKind.VCO:
+            frame[row, col] = port.vc_occupancy
+        else:
+            frame[row, col] = float(port.buffer_operation_count)
+    return frame
+
+
+def normalize_frame(frame: np.ndarray, method: str = "max") -> np.ndarray:
+    """Normalise a feature frame into [0, 1].
+
+    ``max`` divides by the frame maximum (the paper's BOC normalization);
+    ``minmax`` rescales to span the full unit interval; ``none`` returns a
+    copy unchanged.  All-zero frames are returned unchanged to avoid division
+    by zero.
+    """
+    frame = np.asarray(frame, dtype=np.float64)
+    if method == "none":
+        return frame.copy()
+    if method == "max":
+        peak = float(frame.max())
+        return frame / peak if peak > 0 else frame.copy()
+    if method == "minmax":
+        low, high = float(frame.min()), float(frame.max())
+        if high - low <= 0:
+            return np.zeros_like(frame)
+        return (frame - low) / (high - low)
+    raise ValueError(f"unknown normalization method {method!r}")

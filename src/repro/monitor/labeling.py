@@ -1,0 +1,96 @@
+"""Ground-truth labels for detector and localizer training.
+
+Labels are derived purely from the attack scenario geometry and XY routing —
+not from the simulator — so they are exact:
+
+* the **victim mask** marks the target victim and every Routing-Path Victim
+  (RPV), i.e. every router an attack flow traverses;
+* the **directional masks** mark, for each cardinal direction, the routers
+  whose input port of that direction carries attack traffic.  These are the
+  per-frame segmentation targets of the localizer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.monitor.features import frame_shape
+from repro.noc.routing import xy_route_path
+from repro.noc.topology import Direction, MeshTopology
+from repro.traffic.scenario import AttackScenario
+
+__all__ = ["victim_mask", "attack_port_loads", "attack_direction_masks"]
+
+
+def victim_mask(topology: MeshTopology, scenario: AttackScenario) -> np.ndarray:
+    """Full-mesh binary mask (rows x columns) of all victims of a scenario."""
+    mask = np.zeros((topology.rows, topology.columns), dtype=np.float64)
+    for node in scenario.ground_truth_victims(topology):
+        x, y = topology.coordinates(node)
+        mask[y, x] = 1.0
+    return mask
+
+
+def _entry_direction(topology: MeshTopology, from_node: int, to_node: int) -> Direction:
+    """Input-port direction at ``to_node`` for traffic arriving from ``from_node``."""
+    fx, fy = topology.coordinates(from_node)
+    tx, ty = topology.coordinates(to_node)
+    if fx == tx + 1 and fy == ty:
+        return Direction.EAST
+    if fx == tx - 1 and fy == ty:
+        return Direction.WEST
+    if fy == ty + 1 and fx == tx:
+        return Direction.NORTH
+    if fy == ty - 1 and fx == tx:
+        return Direction.SOUTH
+    raise ValueError(f"nodes {from_node} and {to_node} are not adjacent")
+
+
+def attack_port_loads(
+    topology: MeshTopology, scenario: AttackScenario
+) -> dict[Direction, np.ndarray]:
+    """Number of attack flows crossing each directional input port.
+
+    Returns one full-mesh (rows x columns) integer matrix per cardinal
+    direction; entry ``[y, x]`` counts how many attacker->victim flows enter
+    router ``(x, y)`` through that direction's input port.
+    """
+    loads = {
+        direction: np.zeros((topology.rows, topology.columns), dtype=np.float64)
+        for direction in Direction.cardinal()
+    }
+    for attacker in scenario.attackers:
+        path = xy_route_path(topology, attacker, scenario.victim)
+        for upstream, downstream in zip(path[:-1], path[1:]):
+            direction = _entry_direction(topology, upstream, downstream)
+            x, y = topology.coordinates(downstream)
+            loads[direction][y, x] += 1.0
+    return loads
+
+
+def attack_direction_masks(
+    topology: MeshTopology, scenario: AttackScenario
+) -> dict[Direction, np.ndarray]:
+    """Per-direction segmentation ground truth in directional-frame geometry.
+
+    For each cardinal direction the mask has the natural frame shape of
+    :func:`repro.monitor.features.frame_shape`; a pixel is 1 when the
+    corresponding router's input port of that direction carries at least one
+    attack flow.
+    """
+    loads = attack_port_loads(topology, scenario)
+    masks: dict[Direction, np.ndarray] = {}
+    rows, cols = topology.rows, topology.columns
+    for direction in Direction.cardinal():
+        full = (loads[direction] > 0).astype(np.float64)
+        if direction is Direction.EAST:
+            masks[direction] = full[:, : cols - 1]
+        elif direction is Direction.WEST:
+            masks[direction] = full[:, 1:]
+        elif direction is Direction.NORTH:
+            masks[direction] = full[: rows - 1, :]
+        else:  # SOUTH
+            masks[direction] = full[1:, :]
+        if masks[direction].shape != frame_shape(topology, direction):
+            raise AssertionError("directional mask shape mismatch")  # pragma: no cover
+    return masks

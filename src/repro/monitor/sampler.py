@@ -1,0 +1,107 @@
+"""Global performance monitor: periodic VCO/BOC frame sampling.
+
+The paper designs "a global performance monitor to collect the dataset",
+sampling features every 1000 cycles for synthetic traffic and every 100000
+cycles for PARSEC.  This module provides that monitor as a simulator observer:
+every ``sample_period`` cycles (after warmup) it captures one
+:class:`~repro.monitor.frames.FrameSample` containing the four VCO frames and
+the four BOC frames, then resets the BOC accumulators so the next window
+starts fresh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.monitor.features import FeatureKind, extract_feature_frame
+from repro.monitor.frames import DirectionalFrame, FrameSample, FrameSet
+from repro.noc.simulator import NoCSimulator
+from repro.noc.topology import Direction
+from repro.traffic.flooding import FloodingAttacker
+
+__all__ = ["MonitorConfig", "GlobalPerformanceMonitor"]
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Sampling configuration of the global performance monitor."""
+
+    sample_period: int = 256
+    reset_boc_after_sample: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sample_period <= 0:
+            raise ValueError("sample_period must be positive")
+
+
+class GlobalPerformanceMonitor:
+    """Collects feature frames from a simulator at a fixed period."""
+
+    def __init__(self, config: MonitorConfig | None = None) -> None:
+        self.config = config or MonitorConfig()
+        self.samples: list[FrameSample] = []
+        self._attackers: list[FloodingAttacker] = []
+
+    # -- wiring ------------------------------------------------------------
+    def attach(self, simulator: NoCSimulator) -> "GlobalPerformanceMonitor":
+        """Register the monitor as a periodic observer of ``simulator``."""
+        simulator.add_observer(self.config.sample_period, self.sample)
+        self._attackers = [
+            source for source in simulator.sources if isinstance(source, FloodingAttacker)
+        ]
+        return self
+
+    def watch_attacker(self, attacker: FloodingAttacker) -> None:
+        """Track an attacker for ground-truth 'attack active' flags."""
+        self._attackers.append(attacker)
+
+    # -- sampling ------------------------------------------------------------
+    def sample(self, simulator: NoCSimulator) -> FrameSample:
+        """Capture one frame sample right now and store it."""
+        network = simulator.network
+        cycle = simulator.cycle
+        vco_frames = {}
+        boc_frames = {}
+        for direction in Direction.cardinal():
+            vco_frames[direction] = DirectionalFrame(
+                direction=direction,
+                kind=FeatureKind.VCO,
+                values=extract_feature_frame(network, direction, FeatureKind.VCO),
+                cycle=cycle,
+            )
+            boc_frames[direction] = DirectionalFrame(
+                direction=direction,
+                kind=FeatureKind.BOC,
+                values=extract_feature_frame(network, direction, FeatureKind.BOC),
+                cycle=cycle,
+            )
+        attack_active = any(
+            attacker.is_active_at(cycle) for attacker in self._attackers
+        )
+        sample = FrameSample(
+            cycle=cycle,
+            vco=FrameSet(kind=FeatureKind.VCO, frames=vco_frames, cycle=cycle),
+            boc=FrameSet(kind=FeatureKind.BOC, frames=boc_frames, cycle=cycle),
+            attack_active=attack_active,
+        )
+        self.samples.append(sample)
+        if self.config.reset_boc_after_sample:
+            network.reset_boc_counters()
+        return sample
+
+    # -- results ---------------------------------------------------------------
+    def clear(self) -> None:
+        """Discard all collected samples."""
+        self.samples.clear()
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.samples)
+
+    def attack_samples(self) -> list[FrameSample]:
+        """Samples captured while an attack was active."""
+        return [s for s in self.samples if s.attack_active]
+
+    def benign_samples(self) -> list[FrameSample]:
+        """Samples captured with no active attack."""
+        return [s for s in self.samples if not s.attack_active]

@@ -1,0 +1,107 @@
+"""NumPy deep-learning substrate used to train the DL2Fence CNN models.
+
+The paper trains its detector and localizer with TensorFlow 2.0.  This
+reproduction runs fully offline, so an equivalent — deliberately small but
+complete — deep-learning framework is provided here.  It supports the layer
+types the paper's two CNNs need (2-D convolution, max pooling, dense layers,
+ReLU/Sigmoid activations), binary cross-entropy and Dice losses, SGD /
+momentum / Adam optimizers, and a training loop with early stopping.
+
+Everything operates on ``numpy.ndarray`` batches in NHWC layout
+(``(batch, height, width, channels)``), which matches how the feature frames
+of Section 3 are naturally expressed.
+"""
+
+from repro.nn.activations import LeakyReLU, ReLU, Sigmoid, Softmax, Tanh
+from repro.nn.initializers import (
+    Constant,
+    GlorotUniform,
+    HeNormal,
+    Initializer,
+    RandomNormal,
+    Zeros,
+    get_initializer,
+)
+from repro.nn.layers import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    Layer,
+    MaxPool2D,
+    UpSample2D,
+)
+from repro.nn.losses import (
+    BinaryCrossEntropy,
+    DiceLoss,
+    Loss,
+    MeanSquaredError,
+    combined_bce_dice,
+    get_loss,
+)
+from repro.nn.metrics import (
+    ClassificationReport,
+    accuracy_score,
+    confusion_counts,
+    dice_coefficient,
+    f1_score,
+    iou_score,
+    precision_score,
+    recall_score,
+    segmentation_report,
+)
+from repro.nn.model import Sequential
+from repro.nn.optimizers import SGD, Adam, Momentum, Optimizer, get_optimizer
+from repro.nn.serialization import load_model, save_model
+from repro.nn.training import EarlyStopping, History, Trainer, train_test_split
+
+__all__ = [
+    "Adam",
+    "BatchNorm",
+    "BinaryCrossEntropy",
+    "ClassificationReport",
+    "Constant",
+    "Conv2D",
+    "Dense",
+    "DiceLoss",
+    "Dropout",
+    "EarlyStopping",
+    "Flatten",
+    "GlorotUniform",
+    "HeNormal",
+    "History",
+    "Initializer",
+    "Layer",
+    "LeakyReLU",
+    "Loss",
+    "MaxPool2D",
+    "MeanSquaredError",
+    "Momentum",
+    "Optimizer",
+    "RandomNormal",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "Sigmoid",
+    "Softmax",
+    "Tanh",
+    "Trainer",
+    "UpSample2D",
+    "Zeros",
+    "accuracy_score",
+    "combined_bce_dice",
+    "confusion_counts",
+    "dice_coefficient",
+    "f1_score",
+    "get_initializer",
+    "get_loss",
+    "get_optimizer",
+    "iou_score",
+    "load_model",
+    "precision_score",
+    "recall_score",
+    "save_model",
+    "segmentation_report",
+    "train_test_split",
+]

@@ -1,0 +1,499 @@
+"""Trainable and structural layers for the NumPy neural-network substrate.
+
+Layers operate on NHWC batches (``(batch, height, width, channels)``) for the
+convolutional stages and on ``(batch, features)`` matrices for the dense
+stages.  Convolution is implemented with an im2col transformation so that
+forward and backward passes reduce to matrix multiplications, which keeps the
+training of the small DL2Fence models (15x16 input frames, 8 kernels) fast
+enough to run inside the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.nn.initializers import GlorotUniform, HeNormal, Initializer, Zeros, get_initializer
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "UpSample2D",
+    "Flatten",
+    "Dropout",
+    "BatchNorm",
+]
+
+
+class Layer:
+    """Base class for every layer.
+
+    Subclasses implement :meth:`forward` and :meth:`backward`.  Trainable
+    layers expose ``params`` and ``grads`` dictionaries keyed by parameter
+    name; the optimizer updates ``params`` in place using ``grads``.
+    """
+
+    def __init__(self) -> None:
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+        self.built = False
+
+    # -- lifecycle -----------------------------------------------------
+    def build(self, input_shape: Sequence[int], rng: np.random.Generator) -> None:
+        """Allocate parameters given the per-sample input shape."""
+        self.built = True
+
+    def output_shape(self, input_shape: Sequence[int]) -> tuple[int, ...]:
+        """Per-sample output shape for a per-sample ``input_shape``."""
+        return tuple(input_shape)
+
+    # -- computation ---------------------------------------------------
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- bookkeeping ---------------------------------------------------
+    @property
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters in this layer."""
+        return int(sum(p.size for p in self.params.values()))
+
+    def get_config(self) -> dict:
+        """JSON-serialisable configuration used by model serialization."""
+        return {"type": type(self).__name__}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(params={self.num_parameters})"
+
+
+class Dense(Layer):
+    """Fully-connected layer: ``y = x @ W + b``."""
+
+    def __init__(
+        self,
+        units: int,
+        kernel_initializer: str | Initializer = "glorot_uniform",
+        use_bias: bool = True,
+    ) -> None:
+        super().__init__()
+        if units <= 0:
+            raise ValueError("units must be positive")
+        self.units = int(units)
+        self.kernel_initializer = get_initializer(kernel_initializer)
+        self.use_bias = bool(use_bias)
+
+    def build(self, input_shape: Sequence[int], rng: np.random.Generator) -> None:
+        if len(input_shape) != 1:
+            raise ValueError(
+                f"Dense expects flat per-sample inputs, got shape {tuple(input_shape)}"
+            )
+        in_features = int(input_shape[0])
+        self.params["W"] = self.kernel_initializer((in_features, self.units), rng)
+        if self.use_bias:
+            self.params["b"] = Zeros()((self.units,), rng)
+        super().build(input_shape, rng)
+
+    def output_shape(self, input_shape: Sequence[int]) -> tuple[int, ...]:
+        return (self.units,)
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        self._inputs = inputs
+        out = inputs @ self.params["W"]
+        if self.use_bias:
+            out = out + self.params["b"]
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        self.grads["W"] = self._inputs.T @ grad_output
+        if self.use_bias:
+            self.grads["b"] = grad_output.sum(axis=0)
+        return grad_output @ self.params["W"].T
+
+    def get_config(self) -> dict:
+        config = super().get_config()
+        config.update({"units": self.units, "use_bias": self.use_bias})
+        return config
+
+
+def _pad_input(inputs: np.ndarray, pad: int) -> np.ndarray:
+    if pad == 0:
+        return inputs
+    return np.pad(inputs, ((0, 0), (pad, pad), (pad, pad), (0, 0)), mode="constant")
+
+
+def _im2col(inputs: np.ndarray, kh: int, kw: int, stride: int) -> tuple[np.ndarray, int, int]:
+    """Extract sliding patches from an NHWC batch.
+
+    Returns a matrix of shape ``(batch * out_h * out_w, kh * kw * channels)``
+    together with the output spatial dimensions.
+    """
+    batch, height, width, channels = inputs.shape
+    out_h = (height - kh) // stride + 1
+    out_w = (width - kw) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"kernel ({kh}x{kw}) does not fit input ({height}x{width}) with stride {stride}"
+        )
+    strides = inputs.strides
+    patch_view = np.lib.stride_tricks.as_strided(
+        inputs,
+        shape=(batch, out_h, out_w, kh, kw, channels),
+        strides=(
+            strides[0],
+            strides[1] * stride,
+            strides[2] * stride,
+            strides[1],
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    cols = patch_view.reshape(batch * out_h * out_w, kh * kw * channels)
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def _col2im(
+    cols: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    out_h: int,
+    out_w: int,
+) -> np.ndarray:
+    """Scatter-add column gradients back to the (padded) input layout."""
+    batch, height, width, channels = input_shape
+    grad_input = np.zeros(input_shape, dtype=cols.dtype)
+    cols6 = cols.reshape(batch, out_h, out_w, kh, kw, channels)
+    for i in range(kh):
+        for j in range(kw):
+            grad_input[:, i : i + out_h * stride : stride, j : j + out_w * stride : stride, :] += (
+                cols6[:, :, :, i, j, :]
+            )
+    return grad_input
+
+
+class Conv2D(Layer):
+    """2-D convolution over NHWC inputs.
+
+    Parameters mirror the layers shown in Figure 2 of the paper: the detector
+    uses a single ``Conv2D(filters=8, kernel_size=3)`` stage and the localizer
+    stacks two of them with 'same' padding so the segmentation output keeps
+    the frame geometry.
+    """
+
+    def __init__(
+        self,
+        filters: int,
+        kernel_size: int | tuple[int, int] = 3,
+        stride: int = 1,
+        padding: str = "valid",
+        kernel_initializer: str | Initializer = "he_normal",
+        use_bias: bool = True,
+    ) -> None:
+        super().__init__()
+        if filters <= 0:
+            raise ValueError("filters must be positive")
+        if isinstance(kernel_size, int):
+            kernel_size = (kernel_size, kernel_size)
+        if kernel_size[0] <= 0 or kernel_size[1] <= 0:
+            raise ValueError("kernel_size dims must be positive")
+        if stride <= 0:
+            raise ValueError("stride must be positive")
+        if padding not in ("valid", "same"):
+            raise ValueError("padding must be 'valid' or 'same'")
+        if padding == "same" and stride != 1:
+            raise ValueError("'same' padding requires stride 1")
+        self.filters = int(filters)
+        self.kernel_size = (int(kernel_size[0]), int(kernel_size[1]))
+        self.stride = int(stride)
+        self.padding = padding
+        self.kernel_initializer = get_initializer(kernel_initializer)
+        self.use_bias = bool(use_bias)
+
+    def _pad_amount(self) -> int:
+        if self.padding == "valid":
+            return 0
+        # 'same' with stride 1 and odd kernels keeps spatial dims.
+        return (self.kernel_size[0] - 1) // 2
+
+    def build(self, input_shape: Sequence[int], rng: np.random.Generator) -> None:
+        if len(input_shape) != 3:
+            raise ValueError(
+                f"Conv2D expects (H, W, C) per-sample inputs, got {tuple(input_shape)}"
+            )
+        channels = int(input_shape[2])
+        kh, kw = self.kernel_size
+        self.params["W"] = self.kernel_initializer((kh, kw, channels, self.filters), rng)
+        if self.use_bias:
+            self.params["b"] = Zeros()((self.filters,), rng)
+        super().build(input_shape, rng)
+
+    def output_shape(self, input_shape: Sequence[int]) -> tuple[int, ...]:
+        height, width, _ = input_shape
+        kh, kw = self.kernel_size
+        pad = self._pad_amount()
+        out_h = (height + 2 * pad - kh) // self.stride + 1
+        out_w = (width + 2 * pad - kw) // self.stride + 1
+        return (out_h, out_w, self.filters)
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        pad = self._pad_amount()
+        padded = _pad_input(inputs, pad)
+        kh, kw = self.kernel_size
+        cols, out_h, out_w = _im2col(padded, kh, kw, self.stride)
+        weights = self.params["W"].reshape(kh * kw * padded.shape[3], self.filters)
+        out = cols @ weights
+        if self.use_bias:
+            out = out + self.params["b"]
+        self._cache = (cols, padded.shape, inputs.shape, out_h, out_w)
+        return out.reshape(inputs.shape[0], out_h, out_w, self.filters)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        cols, padded_shape, input_shape, out_h, out_w = self._cache
+        kh, kw = self.kernel_size
+        channels = padded_shape[3]
+        grad_flat = grad_output.reshape(-1, self.filters)
+        self.grads["W"] = (cols.T @ grad_flat).reshape(kh, kw, channels, self.filters)
+        if self.use_bias:
+            self.grads["b"] = grad_flat.sum(axis=0)
+        weights = self.params["W"].reshape(kh * kw * channels, self.filters)
+        grad_cols = grad_flat @ weights.T
+        grad_padded = _col2im(grad_cols, padded_shape, kh, kw, self.stride, out_h, out_w)
+        pad = self._pad_amount()
+        if pad:
+            grad_padded = grad_padded[:, pad:-pad, pad:-pad, :]
+        return grad_padded.reshape(input_shape)
+
+    def get_config(self) -> dict:
+        config = super().get_config()
+        config.update(
+            {
+                "filters": self.filters,
+                "kernel_size": list(self.kernel_size),
+                "stride": self.stride,
+                "padding": self.padding,
+                "use_bias": self.use_bias,
+            }
+        )
+        return config
+
+
+class MaxPool2D(Layer):
+    """Max pooling over non-overlapping (or strided) windows of NHWC inputs."""
+
+    def __init__(self, pool_size: int | tuple[int, int] = 2, stride: int | None = None) -> None:
+        super().__init__()
+        if isinstance(pool_size, int):
+            pool_size = (pool_size, pool_size)
+        if pool_size[0] <= 0 or pool_size[1] <= 0:
+            raise ValueError("pool_size dims must be positive")
+        self.pool_size = (int(pool_size[0]), int(pool_size[1]))
+        self.stride = int(stride) if stride is not None else int(pool_size[0])
+        if self.stride <= 0:
+            raise ValueError("stride must be positive")
+
+    def output_shape(self, input_shape: Sequence[int]) -> tuple[int, ...]:
+        height, width, channels = input_shape
+        ph, pw = self.pool_size
+        out_h = (height - ph) // self.stride + 1
+        out_w = (width - pw) // self.stride + 1
+        if out_h <= 0 or out_w <= 0:
+            raise ValueError(
+                f"pool {self.pool_size} does not fit input ({height}x{width})"
+            )
+        return (out_h, out_w, channels)
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        batch, height, width, channels = inputs.shape
+        ph, pw = self.pool_size
+        out_h = (height - ph) // self.stride + 1
+        out_w = (width - pw) // self.stride + 1
+        strides = inputs.strides
+        windows = np.lib.stride_tricks.as_strided(
+            inputs,
+            shape=(batch, out_h, out_w, ph, pw, channels),
+            strides=(
+                strides[0],
+                strides[1] * self.stride,
+                strides[2] * self.stride,
+                strides[1],
+                strides[2],
+                strides[3],
+            ),
+            writeable=False,
+        )
+        flat = windows.reshape(batch, out_h, out_w, ph * pw, channels)
+        self._argmax = flat.argmax(axis=3)
+        self._input_shape = inputs.shape
+        self._out_dims = (out_h, out_w)
+        return flat.max(axis=3)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        batch, height, width, channels = self._input_shape
+        ph, pw = self.pool_size
+        out_h, out_w = self._out_dims
+        grad_input = np.zeros(self._input_shape, dtype=grad_output.dtype)
+        # Decompose flat argmax indices back into window coordinates.
+        win_rows, win_cols = np.divmod(self._argmax, pw)
+        b_idx, oh_idx, ow_idx, c_idx = np.meshgrid(
+            np.arange(batch),
+            np.arange(out_h),
+            np.arange(out_w),
+            np.arange(channels),
+            indexing="ij",
+        )
+        rows = oh_idx * self.stride + win_rows
+        cols = ow_idx * self.stride + win_cols
+        np.add.at(grad_input, (b_idx, rows, cols, c_idx), grad_output)
+        return grad_input
+
+    def get_config(self) -> dict:
+        config = super().get_config()
+        config.update({"pool_size": list(self.pool_size), "stride": self.stride})
+        return config
+
+
+class UpSample2D(Layer):
+    """Nearest-neighbour spatial upsampling (for deeper segmentation variants)."""
+
+    def __init__(self, factor: int = 2) -> None:
+        super().__init__()
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        self.factor = int(factor)
+
+    def output_shape(self, input_shape: Sequence[int]) -> tuple[int, ...]:
+        height, width, channels = input_shape
+        return (height * self.factor, width * self.factor, channels)
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        self._input_shape = inputs.shape
+        return inputs.repeat(self.factor, axis=1).repeat(self.factor, axis=2)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        batch, height, width, channels = self._input_shape
+        reshaped = grad_output.reshape(
+            batch, height, self.factor, width, self.factor, channels
+        )
+        return reshaped.sum(axis=(2, 4))
+
+    def get_config(self) -> dict:
+        config = super().get_config()
+        config["factor"] = self.factor
+        return config
+
+
+class Flatten(Layer):
+    """Flatten all per-sample dimensions into a single feature vector."""
+
+    def output_shape(self, input_shape: Sequence[int]) -> tuple[int, ...]:
+        size = 1
+        for dim in input_shape:
+            size *= int(dim)
+        return (size,)
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        self._input_shape = inputs.shape
+        return inputs.reshape(inputs.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output.reshape(self._input_shape)
+
+
+class Dropout(Layer):
+    """Inverted dropout; active only when ``training=True``."""
+
+    def __init__(self, rate: float = 0.5) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("rate must be in [0, 1)")
+        self.rate = float(rate)
+        self._rng = np.random.default_rng(0)
+
+    def seed(self, seed: int) -> None:
+        """Reseed the dropout mask generator (used by the Trainer)."""
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return inputs
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(inputs.shape) < keep) / keep
+        return inputs * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+    def get_config(self) -> dict:
+        config = super().get_config()
+        config["rate"] = self.rate
+        return config
+
+
+class BatchNorm(Layer):
+    """Batch normalisation over the channel (last) axis."""
+
+    def __init__(self, momentum: float = 0.9, epsilon: float = 1e-5) -> None:
+        super().__init__()
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = float(momentum)
+        self.epsilon = float(epsilon)
+
+    def build(self, input_shape: Sequence[int], rng: np.random.Generator) -> None:
+        channels = int(input_shape[-1])
+        self.params["gamma"] = np.ones(channels, dtype=np.float64)
+        self.params["beta"] = np.zeros(channels, dtype=np.float64)
+        self.running_mean = np.zeros(channels, dtype=np.float64)
+        self.running_var = np.ones(channels, dtype=np.float64)
+        super().build(input_shape, rng)
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        axes = tuple(range(inputs.ndim - 1))
+        if training:
+            mean = inputs.mean(axis=axes)
+            var = inputs.var(axis=axes)
+            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
+            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        self._std_inv = 1.0 / np.sqrt(var + self.epsilon)
+        self._centered = inputs - mean
+        self._normed = self._centered * self._std_inv
+        self._axes = axes
+        self._n = inputs.size // inputs.shape[-1]
+        return self.params["gamma"] * self._normed + self.params["beta"]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        axes = self._axes
+        gamma = self.params["gamma"]
+        self.grads["gamma"] = np.sum(grad_output * self._normed, axis=axes)
+        self.grads["beta"] = np.sum(grad_output, axis=axes)
+        n = self._n
+        grad_normed = grad_output * gamma
+        grad_var = np.sum(
+            grad_normed * self._centered * -0.5 * self._std_inv**3, axis=axes
+        )
+        grad_mean = np.sum(-grad_normed * self._std_inv, axis=axes) + grad_var * np.mean(
+            -2.0 * self._centered, axis=axes
+        )
+        return (
+            grad_normed * self._std_inv
+            + grad_var * 2.0 * self._centered / n
+            + grad_mean / n
+        )
+
+    def get_config(self) -> dict:
+        config = super().get_config()
+        config.update({"momentum": self.momentum, "epsilon": self.epsilon})
+        return config

@@ -1,0 +1,146 @@
+"""Classification and segmentation metrics.
+
+These are the metrics reported throughout Tables 1-4 of the paper: accuracy,
+precision, recall and F1 for the frame-level detector, and the same metrics
+(plus Dice / IoU) computed per pixel for the localization masks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "confusion_counts",
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "dice_coefficient",
+    "iou_score",
+    "ClassificationReport",
+    "segmentation_report",
+]
+
+
+def _binarize(values: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+    return (np.asarray(values, dtype=np.float64) >= threshold).astype(np.int64)
+
+
+def confusion_counts(
+    y_true: np.ndarray, y_pred: np.ndarray, threshold: float = 0.5
+) -> tuple[int, int, int, int]:
+    """Return ``(tp, fp, tn, fn)`` for binary labels/scores."""
+    t = _binarize(y_true, 0.5).ravel()
+    p = _binarize(y_pred, threshold).ravel()
+    if t.shape != p.shape:
+        raise ValueError(f"shape mismatch: {t.shape} vs {p.shape}")
+    tp = int(np.sum((t == 1) & (p == 1)))
+    fp = int(np.sum((t == 0) & (p == 1)))
+    tn = int(np.sum((t == 0) & (p == 0)))
+    fn = int(np.sum((t == 1) & (p == 0)))
+    return tp, fp, tn, fn
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray, threshold: float = 0.5) -> float:
+    """Fraction of correctly classified items (frames or pixels)."""
+    tp, fp, tn, fn = confusion_counts(y_true, y_pred, threshold)
+    total = tp + fp + tn + fn
+    return (tp + tn) / total if total else 0.0
+
+
+def precision_score(y_true: np.ndarray, y_pred: np.ndarray, threshold: float = 0.5) -> float:
+    """Positive predictive value; 1.0 when no positives are predicted."""
+    tp, fp, _, _ = confusion_counts(y_true, y_pred, threshold)
+    return tp / (tp + fp) if (tp + fp) else 1.0
+
+
+def recall_score(y_true: np.ndarray, y_pred: np.ndarray, threshold: float = 0.5) -> float:
+    """True positive rate; 1.0 when there are no positives to find."""
+    tp, _, _, fn = confusion_counts(y_true, y_pred, threshold)
+    return tp / (tp + fn) if (tp + fn) else 1.0
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray, threshold: float = 0.5) -> float:
+    """Harmonic mean of precision and recall."""
+    precision = precision_score(y_true, y_pred, threshold)
+    recall = recall_score(y_true, y_pred, threshold)
+    if precision + recall == 0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def dice_coefficient(y_true: np.ndarray, y_pred: np.ndarray, threshold: float = 0.5) -> float:
+    """Dice similarity between binary masks (the localizer's training target)."""
+    t = _binarize(y_true, 0.5).ravel()
+    p = _binarize(y_pred, threshold).ravel()
+    intersection = int(np.sum(t * p))
+    denom = int(np.sum(t)) + int(np.sum(p))
+    if denom == 0:
+        return 1.0
+    return 2.0 * intersection / denom
+
+
+def iou_score(y_true: np.ndarray, y_pred: np.ndarray, threshold: float = 0.5) -> float:
+    """Intersection over union of binary masks."""
+    t = _binarize(y_true, 0.5).ravel()
+    p = _binarize(y_pred, threshold).ravel()
+    intersection = int(np.sum(t & p))
+    union = int(np.sum(t | p))
+    if union == 0:
+        return 1.0
+    return intersection / union
+
+
+@dataclass
+class ClassificationReport:
+    """Bundle of the four metrics reported in the paper's tables."""
+
+    accuracy: float
+    precision: float
+    recall: float
+    f1: float
+    support: int = 0
+    extras: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_predictions(
+        cls, y_true: np.ndarray, y_pred: np.ndarray, threshold: float = 0.5
+    ) -> "ClassificationReport":
+        y_true = np.asarray(y_true)
+        return cls(
+            accuracy=accuracy_score(y_true, y_pred, threshold),
+            precision=precision_score(y_true, y_pred, threshold),
+            recall=recall_score(y_true, y_pred, threshold),
+            f1=f1_score(y_true, y_pred, threshold),
+            support=int(y_true.size),
+        )
+
+    def as_dict(self) -> dict:
+        """Plain-dict view used by the benchmark tables."""
+        out = {
+            "accuracy": self.accuracy,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "support": self.support,
+        }
+        out.update(self.extras)
+        return out
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"acc={self.accuracy:.3f} prec={self.precision:.3f} "
+            f"rec={self.recall:.3f} f1={self.f1:.3f} (n={self.support})"
+        )
+
+
+def segmentation_report(
+    y_true: np.ndarray, y_pred: np.ndarray, threshold: float = 0.5
+) -> ClassificationReport:
+    """Per-pixel classification report plus Dice/IoU extras for masks."""
+    report = ClassificationReport.from_predictions(y_true, y_pred, threshold)
+    report.extras["dice"] = dice_coefficient(y_true, y_pred, threshold)
+    report.extras["iou"] = iou_score(y_true, y_pred, threshold)
+    return report

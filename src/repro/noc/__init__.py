@@ -1,0 +1,49 @@
+"""Garnet-like 2-D mesh Network-on-Chip simulator substrate.
+
+The paper evaluates DL2Fence on a 16x16 Mesh-XY NoC modelled in Gem5/Garnet.
+This package provides an offline, cycle-driven replacement that exposes the
+observables the DL2Fence monitors consume:
+
+* per-input-port **Virtual Channel Occupancy (VCO)** — the instantaneous
+  fraction of occupied virtual channels,
+* per-input-port **Buffer Operation Counts (BOC)** — accumulated buffer
+  reads/writes inside a sampling window,
+* packet / flit latency and queueing latency statistics (Figure 1).
+
+The router model is a simplified wormhole-switched input-queued router with
+per-port virtual channels and dimension-ordered (XY) routing, which is the
+configuration used throughout the paper.
+"""
+
+from repro.noc.topology import Direction, MeshTopology
+from repro.noc.packet import Flit, FlitType, Packet
+from repro.noc.routing import (
+    reverse_xy_sources,
+    xy_next_direction,
+    xy_route_path,
+    xy_route_victims,
+)
+from repro.noc.router import InputPort, Router, VirtualChannel
+from repro.noc.network import MeshNetwork
+from repro.noc.simulator import NoCSimulator, SimulationConfig
+from repro.noc.stats import LatencyStats, NetworkStats
+
+__all__ = [
+    "Direction",
+    "Flit",
+    "FlitType",
+    "InputPort",
+    "LatencyStats",
+    "MeshNetwork",
+    "MeshTopology",
+    "NetworkStats",
+    "NoCSimulator",
+    "Packet",
+    "Router",
+    "SimulationConfig",
+    "VirtualChannel",
+    "reverse_xy_sources",
+    "xy_next_direction",
+    "xy_route_path",
+    "xy_route_victims",
+]

@@ -1,0 +1,212 @@
+"""Mesh network: routers, links and the per-cycle switching procedure."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.noc.packet import Flit, Packet
+from repro.noc.router import Router, VirtualChannel
+from repro.noc.routing import xy_next_direction
+from repro.noc.stats import NetworkStats
+from repro.noc.topology import Direction, MeshTopology
+
+__all__ = ["MeshNetwork"]
+
+
+class MeshNetwork:
+    """A 2-D mesh of :class:`Router` objects with XY wormhole switching.
+
+    The network advances in cycles.  Each cycle performs, in order:
+
+    1. **Injection** — up to ``injection_bandwidth`` flits per node move from
+       the node's source queue into the local input port of its router.
+    2. **Switch allocation** — every router picks at most one flit per output
+       link, honouring wormhole VC allocation and downstream buffer space.
+    3. **Link traversal** — scheduled flits move into the downstream router's
+       input buffer (or are ejected at their destination).
+
+    The two-phase allocate/execute split guarantees a flit advances at most
+    one hop per cycle regardless of router iteration order.
+    """
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        num_vcs: int = 4,
+        vc_depth: int = 4,
+        injection_bandwidth: int = 1,
+        source_queue_capacity: int = 512,
+    ) -> None:
+        if injection_bandwidth < 1:
+            raise ValueError("injection_bandwidth must be >= 1")
+        if source_queue_capacity < 1:
+            raise ValueError("source_queue_capacity must be >= 1")
+        self.topology = topology
+        self.num_vcs = num_vcs
+        self.vc_depth = vc_depth
+        self.injection_bandwidth = injection_bandwidth
+        self.source_queue_capacity = source_queue_capacity
+        self.routers: list[Router] = [
+            Router(node, topology, num_vcs=num_vcs, vc_depth=vc_depth)
+            for node in topology.nodes()
+        ]
+        self.source_queues: list[deque[Flit]] = [deque() for _ in topology.nodes()]
+        self.stats = NetworkStats()
+        self.dropped_packets = 0
+
+    # -- injection interface ------------------------------------------------
+    def enqueue_packet(self, packet: Packet) -> bool:
+        """Queue a packet's flits at its source node.
+
+        Returns False (and counts a drop) when the source queue is already at
+        capacity — this models the saturation / "system crashed" regime the
+        paper reaches at FIR = 1.
+        """
+        queue = self.source_queues[packet.source]
+        if len(queue) + packet.size_flits > self.source_queue_capacity:
+            self.dropped_packets += 1
+            return False
+        self.stats.record_created(packet)
+        for flit in packet.to_flits():
+            queue.append(flit)
+        return True
+
+    def router(self, node_id: int) -> Router:
+        """Router attached to ``node_id``."""
+        return self.routers[node_id]
+
+    # -- cycle advance ---------------------------------------------------------
+    def step(self, cycle: int) -> None:
+        """Advance the network by one cycle."""
+        self._inject(cycle)
+        moves = self._allocate(cycle)
+        self._execute(moves, cycle)
+        for router in self.routers:
+            router.accumulate_occupancy()
+        self.stats.cycles = cycle + 1
+
+    # -- phase 1: injection -----------------------------------------------------
+    def _inject(self, cycle: int) -> None:
+        for node, queue in enumerate(self.source_queues):
+            if not queue:
+                continue
+            port = self.routers[node].input_ports[Direction.LOCAL]
+            for _ in range(self.injection_bandwidth):
+                if not queue:
+                    break
+                flit = queue[0]
+                vc = port.free_vc_for(flit)
+                if vc is None:
+                    break
+                queue.popleft()
+                port.write_flit(flit, vc)
+                if flit.is_head and flit.packet.injected_cycle is None:
+                    flit.packet.injected_cycle = cycle
+                    self.stats.record_injected(flit.packet)
+
+    # -- phase 2: switch allocation ----------------------------------------------
+    def _allocate(self, cycle: int) -> list[tuple]:
+        """Pick flit moves for this cycle.
+
+        Returns a list of ``(port, vc, target)`` tuples where ``target`` is
+        either ``("eject", router)`` or ``("forward", downstream_port,
+        downstream_vc)``.
+        """
+        moves: list[tuple] = []
+        # Space already promised to a downstream VC this cycle, so two
+        # upstream routers cannot overfill the same buffer slot.
+        reserved: dict[int, int] = {}
+        # Downstream VCs already granted to a head flit this cycle: a second
+        # head must not be allocated the same VC.
+        head_reserved: set[int] = set()
+
+        for router in self.routers:
+            used_outputs: set[Direction] = set()
+            directions = list(router.input_ports.keys())
+            # Rotate arbitration priority each cycle to avoid starvation.
+            offset = cycle % len(directions)
+            ordered = directions[offset:] + directions[:offset]
+            for direction in ordered:
+                port = router.input_ports[direction]
+                for vc in port.vcs:
+                    flit = vc.peek()
+                    if flit is None:
+                        continue
+                    out_dir = vc.output_direction
+                    if out_dir is None:
+                        out_dir = xy_next_direction(
+                            self.topology, router.node_id, flit.destination
+                        )
+                        vc.output_direction = out_dir
+                    if out_dir in used_outputs:
+                        continue
+                    if out_dir is Direction.LOCAL:
+                        moves.append((port, vc, ("eject", router)))
+                        used_outputs.add(out_dir)
+                        continue
+                    neighbor = self.topology.neighbor(router.node_id, out_dir)
+                    if neighbor is None:  # pragma: no cover - defensive
+                        continue
+                    down_port = self.routers[neighbor].input_ports[out_dir.opposite]
+                    down_vc = vc.downstream_vc
+                    if down_vc is None or not flit.is_head:
+                        if flit.is_head:
+                            down_vc = down_port.free_vc_for(flit)
+                        else:
+                            down_vc = vc.downstream_vc
+                    if down_vc is None:
+                        continue
+                    already = reserved.get(id(down_vc), 0)
+                    if len(down_vc.flits) + already >= down_vc.depth:
+                        continue
+                    if flit.is_head:
+                        if down_vc.occupied or id(down_vc) in head_reserved:
+                            continue
+                        head_reserved.add(id(down_vc))
+                    moves.append((port, vc, ("forward", down_port, down_vc)))
+                    used_outputs.add(out_dir)
+                    reserved[id(down_vc)] = already + 1
+        return moves
+
+    # -- phase 3: link traversal --------------------------------------------------
+    def _execute(self, moves: list[tuple], cycle: int) -> None:
+        for port, vc, target in moves:
+            kind = target[0]
+            if kind == "eject":
+                router: Router = target[1]
+                flit = port.read_flit(vc)
+                router.flits_ejected += 1
+                if flit.is_tail:
+                    flit.packet.ejected_cycle = cycle
+                    router.packets_ejected += 1
+                    self.stats.record_delivered(flit.packet)
+            else:
+                _, down_port, down_vc = target
+                flit = port.read_flit(vc)
+                remember_downstream = not flit.is_tail
+                down_port.write_flit(flit, down_vc)
+                # Wormhole: body/tail flits of this packet must follow the
+                # head into the same downstream VC.
+                vc.downstream_vc = down_vc if remember_downstream else None
+
+    # -- bookkeeping --------------------------------------------------------
+    @property
+    def in_flight_flits(self) -> int:
+        """Flits buffered anywhere in the network (excluding source queues)."""
+        return sum(router.total_buffered_flits for router in self.routers)
+
+    @property
+    def queued_flits(self) -> int:
+        """Flits still waiting in source injection queues."""
+        return sum(len(queue) for queue in self.source_queues)
+
+    def reset_boc_counters(self) -> None:
+        """Reset every router's BOC accumulators (one sampling window ends)."""
+        for router in self.routers:
+            router.reset_counters()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MeshNetwork({self.topology.rows}x{self.topology.columns}, "
+            f"vcs={self.num_vcs}, depth={self.vc_depth})"
+        )

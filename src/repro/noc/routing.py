@@ -1,0 +1,117 @@
+"""Dimension-ordered (XY) routing and its reverse deduction.
+
+The paper's NoC uses Mesh-XY routing: packets first travel along the X axis
+(east/west) until the destination column is reached, then along the Y axis
+(north/south).  Two helpers beyond next-hop computation are provided because
+the DL2Fence localization stages rely on them:
+
+* :func:`xy_route_victims` — every router an attack flow traverses, i.e. the
+  Routing-Path Victims (RPV) of Figure 1, used for segmentation ground truth
+  and by the Victim Complementing Enhancement (VCE);
+* :func:`reverse_xy_sources` — given an observed set of victims and the input
+  direction of the abnormal traffic, the candidate attacker positions used by
+  the Table-Like Method.
+"""
+
+from __future__ import annotations
+
+from repro.noc.topology import Direction, MeshTopology
+
+__all__ = [
+    "xy_next_direction",
+    "xy_route_path",
+    "xy_route_victims",
+    "reverse_xy_sources",
+]
+
+
+def xy_next_direction(topology: MeshTopology, current: int, destination: int) -> Direction:
+    """Output direction chosen by XY routing at ``current`` for ``destination``.
+
+    Returns :class:`Direction.LOCAL` when the packet has arrived.
+    """
+    if current == destination:
+        return Direction.LOCAL
+    cx, cy = topology.coordinates(current)
+    dx, dy = topology.coordinates(destination)
+    if cx < dx:
+        return Direction.EAST
+    if cx > dx:
+        return Direction.WEST
+    if cy < dy:
+        return Direction.NORTH
+    return Direction.SOUTH
+
+
+def xy_route_path(topology: MeshTopology, source: int, destination: int) -> list[int]:
+    """Ordered node ids visited from ``source`` to ``destination`` inclusive."""
+    if source == destination:
+        return [source]
+    path = [source]
+    current = source
+    # A minimal XY path has at most rows+columns hops; guard against loops.
+    for _ in range(topology.rows + topology.columns + 1):
+        direction = xy_next_direction(topology, current, destination)
+        if direction is Direction.LOCAL:
+            break
+        nxt = topology.neighbor(current, direction)
+        if nxt is None:  # pragma: no cover - unreachable on a mesh
+            raise RuntimeError(f"XY routing fell off the mesh at node {current}")
+        path.append(nxt)
+        current = nxt
+    if path[-1] != destination:  # pragma: no cover - defensive
+        raise RuntimeError(
+            f"XY routing failed to reach {destination} from {source}: {path}"
+        )
+    return path
+
+
+def xy_route_victims(
+    topology: MeshTopology, source: int, destination: int, include_source: bool = False
+) -> list[int]:
+    """Routing-Path Victims of a flow: every node whose router it occupies.
+
+    The paper counts the target victim and all intermediate routers as
+    victims; the attacking source itself is excluded by default.
+    """
+    path = xy_route_path(topology, source, destination)
+    return path if include_source else path[1:]
+
+
+def reverse_xy_sources(
+    topology: MeshTopology, victims: list[int], input_direction: Direction
+) -> list[int]:
+    """Candidate attacker node ids for an observed abnormal input direction.
+
+    Implements the per-direction rules of the Table-Like Method (Figure 3):
+    traffic arriving on a router's EAST input port came from the node one
+    column to the east, so for a victim route the attacker is adjacent to the
+    largest/smallest route id in the corresponding dimension:
+
+    * EAST  input abnormal  -> attacker id = max(route) + 1
+    * WEST  input abnormal  -> attacker id = min(route) - 1
+    * NORTH input abnormal  -> attacker id = max(route) + columns
+    * SOUTH input abnormal  -> attacker id = min(route) - columns
+
+    Only candidates that exist on the mesh are returned.
+    """
+    if not victims:
+        return []
+    if input_direction is Direction.LOCAL:
+        raise ValueError("local direction carries no attacker-side information")
+    columns = topology.columns
+    if input_direction is Direction.EAST:
+        base = max(victims)
+        candidate = base + 1
+        same_row = candidate in topology and candidate // columns == base // columns
+        return [candidate] if same_row else []
+    if input_direction is Direction.WEST:
+        base = min(victims)
+        candidate = base - 1
+        same_row = candidate in topology and candidate // columns == base // columns
+        return [candidate] if same_row else []
+    if input_direction is Direction.NORTH:
+        candidate = max(victims) + columns
+    else:  # SOUTH
+        candidate = min(victims) - columns
+    return [candidate] if candidate in topology else []

@@ -1,0 +1,170 @@
+"""Attack-scenario composition used for dataset generation and evaluation.
+
+The paper simulates "18 attack scenarios under 0.8 FIR across 6 + 3
+benchmarks", mixing single- and dual-attacker patterns.  This module provides
+the :class:`AttackScenario` description object plus a reproducible
+:class:`ScenarioGenerator` that draws such scenarios for a given mesh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.noc.routing import xy_route_victims
+from repro.noc.topology import MeshTopology
+from repro.traffic.flooding import FloodingAttacker, FloodingConfig
+from repro.traffic.parsec import PARSEC_WORKLOADS
+from repro.traffic.synthetic import SYNTHETIC_PATTERNS
+
+__all__ = ["AttackScenario", "ScenarioGenerator", "benchmark_names"]
+
+
+def benchmark_names(include_parsec: bool = True) -> list[str]:
+    """All benchmark names of the paper's evaluation (6 STP + 3 PARSEC)."""
+    names = list(SYNTHETIC_PATTERNS)
+    if include_parsec:
+        names.extend(PARSEC_WORKLOADS)
+    return names
+
+
+@dataclass(frozen=True)
+class AttackScenario:
+    """A fully specified flooding scenario on a given mesh.
+
+    Attributes
+    ----------
+    attackers:
+        Malicious node ids (1 or 2 in the paper's evaluation).
+    victim:
+        Target victim node id.
+    fir:
+        Flooding Injection Rate for all attackers.
+    benchmark:
+        Name of the benign workload the attack overlays (one of the 6 STP
+        patterns or 3 PARSEC workloads); informational only.
+    """
+
+    attackers: tuple[int, ...]
+    victim: int
+    fir: float = 0.8
+    benchmark: str = "uniform_random"
+
+    def __post_init__(self) -> None:
+        if not self.attackers:
+            raise ValueError("a scenario needs at least one attacker")
+        if self.victim in self.attackers:
+            raise ValueError("victim cannot be an attacker")
+        if not 0.0 <= self.fir <= 1.0:
+            raise ValueError("fir must be in [0, 1]")
+
+    @property
+    def num_attackers(self) -> int:
+        return len(self.attackers)
+
+    def flooding_config(
+        self,
+        packet_size_flits: int = 4,
+        start_cycle: int = 0,
+        end_cycle: int | None = None,
+    ) -> FloodingConfig:
+        """Convert the scenario to a :class:`FloodingConfig`."""
+        return FloodingConfig(
+            attackers=self.attackers,
+            victim=self.victim,
+            fir=self.fir,
+            packet_size_flits=packet_size_flits,
+            start_cycle=start_cycle,
+            end_cycle=end_cycle,
+        )
+
+    def attacker_source(
+        self, topology: MeshTopology, seed: int = 0, **kwargs
+    ) -> FloodingAttacker:
+        """Build the :class:`FloodingAttacker` traffic source for this scenario."""
+        return FloodingAttacker(self.flooding_config(**kwargs), topology, seed=seed)
+
+    def ground_truth_victims(self, topology: MeshTopology) -> set[int]:
+        """All Routing-Path Victims plus the target victim of the scenario.
+
+        This is the segmentation ground truth: every router traversed by at
+        least one flooding flow under XY routing.
+        """
+        victims: set[int] = set()
+        for attacker in self.attackers:
+            victims.update(xy_route_victims(topology, attacker, self.victim))
+        return victims
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"{self.num_attackers} attacker(s) {list(self.attackers)} -> victim "
+            f"{self.victim} @ FIR {self.fir} on {self.benchmark}"
+        )
+
+
+class ScenarioGenerator:
+    """Reproducible random generator of single/dual-attacker scenarios."""
+
+    def __init__(self, topology: MeshTopology, seed: int = 0) -> None:
+        self.topology = topology
+        self.rng = np.random.default_rng(seed)
+
+    def random_scenario(
+        self,
+        num_attackers: int = 1,
+        fir: float = 0.8,
+        benchmark: str = "uniform_random",
+        min_distance: int = 2,
+    ) -> AttackScenario:
+        """Draw a scenario with distinct attackers at least ``min_distance`` hops away."""
+        if num_attackers < 1:
+            raise ValueError("num_attackers must be >= 1")
+        num_nodes = self.topology.num_nodes
+        if num_attackers >= num_nodes:
+            raise ValueError("too many attackers for this mesh")
+        for _ in range(1000):
+            victim = int(self.rng.integers(0, num_nodes))
+            candidates = [
+                node
+                for node in self.topology.nodes()
+                if node != victim
+                and self.topology.manhattan_distance(node, victim) >= min_distance
+            ]
+            if len(candidates) < num_attackers:
+                continue
+            attackers = tuple(
+                int(a)
+                for a in self.rng.choice(candidates, size=num_attackers, replace=False)
+            )
+            return AttackScenario(
+                attackers=attackers, victim=victim, fir=fir, benchmark=benchmark
+            )
+        raise RuntimeError("could not sample a valid scenario")  # pragma: no cover
+
+    def scenario_suite(
+        self,
+        benchmarks: list[str] | None = None,
+        scenarios_per_benchmark: int = 2,
+        fir: float = 0.8,
+        attacker_counts: tuple[int, ...] = (1, 2),
+    ) -> list[AttackScenario]:
+        """Generate the evaluation suite: scenarios for every benchmark.
+
+        With the defaults (2 scenarios x 9 benchmarks x {1, 2} attackers)
+        this mirrors the paper's "18 attack scenarios ... across 6 + 3
+        benchmarks" construction.
+        """
+        if benchmarks is None:
+            benchmarks = benchmark_names()
+        suite = []
+        for benchmark in benchmarks:
+            for index in range(scenarios_per_benchmark):
+                count = attacker_counts[index % len(attacker_counts)]
+                suite.append(
+                    self.random_scenario(
+                        num_attackers=count, fir=fir, benchmark=benchmark
+                    )
+                )
+        return suite

@@ -1,0 +1,146 @@
+"""Unit tests for the baseline detectors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DecisionStump,
+    GradientBoostingDetector,
+    LinearSVMDetector,
+    PerceptronDetector,
+    ThresholdDetector,
+    flatten_frames,
+)
+
+
+def make_separable_frames(n=80, seed=0):
+    """Synthetic frame-like inputs: attacks have a bright 'route' of pixels."""
+    rng = np.random.default_rng(seed)
+    half = n // 2
+    benign = rng.uniform(0.0, 0.2, size=(half, 6, 5, 4))
+    attack = rng.uniform(0.0, 0.2, size=(half, 6, 5, 4))
+    attack[:, 2, :, 0] += 0.7  # a horizontal congested route in the E channel
+    x = np.concatenate([benign, attack])
+    y = np.concatenate([np.zeros(half), np.ones(half)])
+    order = rng.permutation(n)
+    return x[order], y[order]
+
+
+class TestFlattenFrames:
+    def test_flattens_4d(self):
+        assert flatten_frames(np.zeros((3, 6, 5, 4))).shape == (3, 120)
+
+    def test_passthrough_2d(self):
+        x = np.zeros((3, 10))
+        assert flatten_frames(x).shape == (3, 10)
+
+
+ALL_DETECTORS = [
+    PerceptronDetector,
+    LinearSVMDetector,
+    GradientBoostingDetector,
+    ThresholdDetector,
+]
+
+
+@pytest.mark.parametrize("detector_cls", ALL_DETECTORS)
+class TestCommonBehaviour:
+    def test_learns_separable_data(self, detector_cls):
+        x, y = make_separable_frames()
+        detector = detector_cls()
+        detector.fit(x, y)
+        report = detector.evaluate(x, y)
+        assert report.accuracy > 0.85
+
+    def test_scores_in_unit_interval(self, detector_cls):
+        x, y = make_separable_frames()
+        detector = detector_cls().fit(x, y)
+        scores = detector.predict_proba(x)
+        assert np.all((scores >= 0.0) & (scores <= 1.0))
+
+    def test_predict_is_binary(self, detector_cls):
+        x, y = make_separable_frames()
+        detector = detector_cls().fit(x, y)
+        assert set(np.unique(detector.predict(x))) <= {0, 1}
+
+    def test_predict_before_fit_raises(self, detector_cls):
+        with pytest.raises(RuntimeError):
+            detector_cls().predict_proba(np.zeros((2, 6, 5, 4)))
+
+    def test_parameter_count_positive_after_fit(self, detector_cls):
+        x, y = make_separable_frames()
+        detector = detector_cls().fit(x, y)
+        assert detector.num_parameters >= 1
+
+
+class TestPerceptron:
+    def test_parameter_count_matches_features(self):
+        x, y = make_separable_frames()
+        detector = PerceptronDetector().fit(x, y)
+        assert detector.num_parameters == 6 * 5 * 4 + 1
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            PerceptronDetector(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            PerceptronDetector(l2=-1.0)
+
+
+class TestSVM:
+    def test_decision_function_sign_matches_prediction(self):
+        x, y = make_separable_frames()
+        detector = LinearSVMDetector().fit(x, y)
+        decision = detector.decision_function(x)
+        assert np.all((decision > 0) == (detector.predict(x) == 1))
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            LinearSVMDetector(epochs=0)
+
+
+class TestGradientBoosting:
+    def test_stump_prediction(self):
+        stump = DecisionStump(feature=0, threshold=0.5, left_value=-1.0, right_value=2.0)
+        out = stump.predict(np.array([[0.1], [0.9]]))
+        assert np.allclose(out, [-1.0, 2.0])
+
+    def test_more_estimators_improve_fit(self):
+        x, y = make_separable_frames(seed=3)
+        small = GradientBoostingDetector(n_estimators=2, seed=0).fit(x, y)
+        large = GradientBoostingDetector(n_estimators=40, seed=0).fit(x, y)
+        assert large.evaluate(x, y).accuracy >= small.evaluate(x, y).accuracy
+
+    def test_parameter_count_scales_with_estimators(self):
+        x, y = make_separable_frames()
+        detector = GradientBoostingDetector(n_estimators=10).fit(x, y)
+        assert detector.num_parameters == 41
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            GradientBoostingDetector(n_estimators=0)
+
+
+class TestThreshold:
+    def test_threshold_calibrated_on_benign(self):
+        x, y = make_separable_frames()
+        detector = ThresholdDetector(statistic="max").fit(x, y)
+        benign_max = flatten_frames(x[y == 0]).max(axis=1)
+        assert detector.threshold >= np.percentile(benign_max, 90)
+
+    def test_mean_statistic(self):
+        x, y = make_separable_frames()
+        detector = ThresholdDetector(statistic="mean").fit(x, y)
+        assert detector.evaluate(x, y).accuracy > 0.8
+
+    def test_single_parameter(self):
+        x, y = make_separable_frames()
+        assert ThresholdDetector().fit(x, y).num_parameters == 1
+
+    def test_no_benign_calibration_data(self):
+        x, y = make_separable_frames()
+        detector = ThresholdDetector().fit(x[y == 1], np.ones(int(y.sum())))
+        assert detector.threshold is not None
+
+    def test_invalid_statistic(self):
+        with pytest.raises(ValueError):
+            ThresholdDetector(statistic="median")

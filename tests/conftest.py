@@ -1,0 +1,87 @@
+"""Shared fixtures for the test suite.
+
+Heavy objects (simulated runs, trained models) are session-scoped so the many
+tests that need "a small trained pipeline" or "a few monitor samples" share
+one instance instead of re-simulating.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import DL2FenceConfig
+from repro.core.pipeline import DL2Fence
+from repro.monitor.dataset import DatasetBuilder, DatasetConfig
+from repro.noc.topology import MeshTopology
+from repro.traffic.scenario import AttackScenario
+
+
+SMALL_ROWS = 6
+
+
+@pytest.fixture(scope="session")
+def small_topology() -> MeshTopology:
+    """A 6x6 mesh: small enough for fast simulation, large enough for frames."""
+    return MeshTopology(rows=SMALL_ROWS)
+
+
+@pytest.fixture(scope="session")
+def small_dataset_config() -> DatasetConfig:
+    """Dataset configuration matching the small topology."""
+    return DatasetConfig(
+        rows=SMALL_ROWS,
+        sample_period=96,
+        samples_per_run=4,
+        warmup_cycles=32,
+        benign_injection_rate=0.02,
+        fir=0.8,
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_builder(small_dataset_config) -> DatasetBuilder:
+    return DatasetBuilder(small_dataset_config)
+
+
+@pytest.fixture(scope="session")
+def small_runs(small_builder):
+    """Benign + attacked runs over two benchmarks (session-cached)."""
+    return small_builder.build_runs(
+        benchmarks=["uniform_random", "blackscholes"],
+        scenarios_per_benchmark=2,
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_detection_dataset(small_builder, small_runs):
+    return small_builder.detection_dataset(small_runs)
+
+
+@pytest.fixture(scope="session")
+def small_localization_dataset(small_builder, small_runs):
+    return small_builder.localization_dataset(small_runs)
+
+
+@pytest.fixture(scope="session")
+def trained_pipeline(small_builder, small_runs):
+    """A DL2Fence pipeline trained on the session's small runs."""
+    fence = DL2Fence(small_builder.topology, DL2FenceConfig(seed=3))
+    fence.fit_from_runs(small_builder, small_runs, detector_epochs=40, localizer_epochs=60)
+    return fence
+
+
+@pytest.fixture(scope="session")
+def example_scenario(small_topology) -> AttackScenario:
+    """A deterministic single-attacker scenario on the small mesh."""
+    # Attacker in the north-east quadrant, victim near the south-west corner.
+    attacker = small_topology.node_id(4, 4)
+    victim = small_topology.node_id(1, 1)
+    return AttackScenario(attackers=(attacker,), victim=victim, fir=0.8)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,63 @@
+"""Unit tests for the DL2Fence configuration object."""
+
+import pytest
+
+from repro.core.config import DL2FenceConfig
+from repro.monitor.features import FeatureKind
+
+
+class TestDefaults:
+    def test_paper_default_feature_split(self):
+        config = DL2FenceConfig.paper_default()
+        assert config.detection_feature is FeatureKind.VCO
+        assert config.localization_feature is FeatureKind.BOC
+        assert config.detection_normalization == "none"
+        assert config.localization_normalization == "max"
+
+    def test_paper_model_capacity(self):
+        config = DL2FenceConfig()
+        assert config.detector_filters == 8
+        assert config.localizer_filters == 8
+        assert config.localizer_conv_layers == 2
+
+    def test_vce_disabled_by_default(self):
+        assert not DL2FenceConfig().enable_vce
+
+
+class TestValidation:
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            DL2FenceConfig(detection_threshold=0.0)
+        with pytest.raises(ValueError):
+            DL2FenceConfig(segmentation_threshold=1.0)
+        with pytest.raises(ValueError):
+            DL2FenceConfig(binarization_threshold=-0.2)
+
+    def test_invalid_fusion_mode(self):
+        with pytest.raises(ValueError):
+            DL2FenceConfig(fusion_mode="intersection")
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            DL2FenceConfig(detector_filters=0)
+        with pytest.raises(ValueError):
+            DL2FenceConfig(localizer_conv_layers=0)
+        with pytest.raises(ValueError):
+            DL2FenceConfig(abnormal_frame_threshold=0)
+
+
+class TestWithFeatures:
+    def test_vco_vco(self):
+        config = DL2FenceConfig().with_features(FeatureKind.VCO, FeatureKind.VCO)
+        assert config.localization_feature is FeatureKind.VCO
+        assert config.localization_normalization == "none"
+
+    def test_boc_boc(self):
+        config = DL2FenceConfig().with_features(FeatureKind.BOC, FeatureKind.BOC)
+        assert config.detection_normalization == "max"
+        assert config.localization_normalization == "max"
+
+    def test_original_unchanged(self):
+        original = DL2FenceConfig()
+        original.with_features(FeatureKind.BOC, FeatureKind.BOC)
+        assert original.detection_feature is FeatureKind.VCO

@@ -1,0 +1,89 @@
+"""Unit tests for the CNN DoS detector."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DL2FenceConfig
+from repro.core.detector import DoSDetector, build_detector_model, effective_pool_size
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D
+from repro.nn.activations import ReLU, Sigmoid
+
+
+class TestModelArchitecture:
+    def test_paper_layer_sequence(self):
+        model = build_detector_model((8, 7, 4))
+        layer_types = [type(layer) for layer in model.layers]
+        assert layer_types == [Conv2D, ReLU, MaxPool2D, Flatten, Dense, Sigmoid]
+
+    def test_eight_kernels_by_default(self):
+        model = build_detector_model((8, 7, 4))
+        assert model.layers[0].filters == 8
+
+    def test_single_probability_output(self):
+        model = build_detector_model((8, 7, 4))
+        out = model.forward(np.zeros((3, 8, 7, 4)))
+        assert out.shape == (3, 1)
+        assert np.all((out > 0) & (out < 1))
+
+    def test_small_mesh_shrinks_pool(self):
+        assert effective_pool_size((4, 3, 4), kernel_size=3, pool_size=2) == 1
+        model = build_detector_model((4, 3, 4))
+        assert model.output_shape == (1,)
+
+    def test_too_small_mesh_rejected(self):
+        with pytest.raises(ValueError):
+            effective_pool_size((2, 2, 4), kernel_size=3, pool_size=2)
+
+    def test_invalid_input_shape(self):
+        with pytest.raises(ValueError):
+            build_detector_model((8, 7))
+
+
+class TestDetectorTraining:
+    def test_learns_to_separate(self, small_builder, small_detection_dataset):
+        detector = DoSDetector(
+            small_detection_dataset.inputs.shape[1:], config=DL2FenceConfig(seed=1)
+        )
+        summary = detector.fit(small_detection_dataset, epochs=40)
+        assert detector.trained
+        assert summary.final_accuracy > 0.7
+        report = detector.evaluate(small_detection_dataset)
+        assert report.accuracy > 0.7
+
+    def test_predictions_shapes(self, small_detection_dataset):
+        detector = DoSDetector(small_detection_dataset.inputs.shape[1:])
+        proba = detector.predict_proba(small_detection_dataset.inputs)
+        assert proba.shape == (small_detection_dataset.num_samples,)
+        single = detector.predict_proba(small_detection_dataset.inputs[0])
+        assert single.shape == (1,)
+        hard = detector.predict(small_detection_dataset.inputs)
+        assert set(np.unique(hard)) <= {0, 1}
+
+    def test_detect_on_frame_set(self, trained_pipeline, small_runs):
+        attack_run = next(run for run in small_runs if run.is_attack)
+        benign_run = next(run for run in small_runs if not run.is_attack)
+        detected_attack, p_attack = trained_pipeline.detector.detect(
+            attack_run.samples[-1].vco
+        )
+        _, p_benign = trained_pipeline.detector.detect(benign_run.samples[-1].vco)
+        assert 0.0 <= p_attack <= 1.0
+        assert p_attack > p_benign
+
+    def test_num_parameters_positive(self, small_detection_dataset):
+        detector = DoSDetector(small_detection_dataset.inputs.shape[1:])
+        assert detector.num_parameters > 0
+
+
+class TestDetectorPersistence:
+    def test_save_and_load_round_trip(self, tmp_path, small_detection_dataset):
+        detector = DoSDetector(
+            small_detection_dataset.inputs.shape[1:], config=DL2FenceConfig(seed=2)
+        )
+        detector.fit(small_detection_dataset, epochs=10)
+        path = detector.save(tmp_path / "detector.npz")
+        restored = DoSDetector.load(path)
+        assert restored.trained
+        assert np.allclose(
+            restored.predict_proba(small_detection_dataset.inputs),
+            detector.predict_proba(small_detection_dataset.inputs),
+        )

@@ -1,0 +1,142 @@
+"""Unit and property-based tests for binarization and Multi-Frame Fusion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.frame_fusion import (
+    binarize_frame,
+    fuse_direction_masks,
+    multi_frame_fusion,
+    victims_from_mask,
+)
+from repro.monitor.features import frame_shape
+from repro.monitor.frames import to_canonical
+from repro.monitor.labeling import attack_direction_masks, victim_mask
+from repro.noc.topology import Direction, MeshTopology
+from repro.traffic.scenario import AttackScenario
+
+TOPO = MeshTopology(rows=6)
+
+
+class TestBinarization:
+    def test_thresholding(self):
+        frame = np.array([[0.2, 0.6], [0.5, 0.49]])
+        assert np.allclose(binarize_frame(frame, 0.5), [[0, 1], [1, 0]])
+
+    def test_output_is_binary(self):
+        rng = np.random.default_rng(0)
+        out = binarize_frame(rng.random((5, 5)), 0.3)
+        assert set(np.unique(out)) <= {0.0, 1.0}
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            binarize_frame(np.zeros((2, 2)), 0.0)
+
+    @given(threshold=st.floats(0.05, 0.95))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_threshold(self, threshold):
+        rng = np.random.default_rng(1)
+        frame = rng.random((4, 4))
+        low = binarize_frame(frame, threshold)
+        high = binarize_frame(frame, min(0.99, threshold + 0.04))
+        # Raising the threshold can only turn pixels off.
+        assert np.all(high <= low)
+
+
+class TestMultiFrameFusion:
+    def test_union_mode(self):
+        a = np.array([[1.0, 0.0], [0.0, 0.0]])
+        b = np.array([[1.0, 1.0], [0.0, 0.0]])
+        fused = multi_frame_fusion([a, b], mode="union")
+        assert np.allclose(fused, [[1, 1], [0, 0]])
+
+    def test_exact_mode_drops_double_counted(self):
+        a = np.array([[1.0, 0.0]])
+        b = np.array([[1.0, 1.0]])
+        fused = multi_frame_fusion([a, b], mode="exact")
+        assert np.allclose(fused, [[0, 1]])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            multi_frame_fusion([])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            multi_frame_fusion([np.zeros((2, 2)), np.zeros((3, 3))])
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            multi_frame_fusion([np.zeros((2, 2))], mode="votes")
+
+
+class TestVictimsFromMask:
+    def test_node_id_mapping(self):
+        mask = np.zeros((6, 6))
+        mask[0, 3] = 1.0  # node 3
+        mask[2, 1] = 1.0  # node 13
+        assert victims_from_mask(mask, TOPO) == [3, 13]
+
+    def test_empty_mask(self):
+        assert victims_from_mask(np.zeros((6, 6)), TOPO) == []
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            victims_from_mask(np.zeros((5, 6)), TOPO)
+
+
+class TestFuseDirectionMasks:
+    @given(
+        attacker=st.integers(0, 35),
+        victim=st.integers(0, 35),
+        threshold=st.floats(0.1, 0.9),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_perfect_masks_recover_ground_truth(self, attacker, victim, threshold):
+        """Fusing the exact ground-truth direction masks yields the victim mask.
+
+        This is the core invariant of Algorithm 1, and it holds for any
+        binarization threshold because the masks are already binary.
+        """
+        if attacker == victim:
+            return
+        scenario = AttackScenario(attackers=(attacker,), victim=victim)
+        truth_masks = attack_direction_masks(TOPO, scenario)
+        canonical = {
+            d: to_canonical(m, d) for d, m in truth_masks.items() if m.any()
+        }
+        fused = fuse_direction_masks(canonical, TOPO, threshold=threshold)
+        assert np.allclose(fused, victim_mask(TOPO, scenario))
+
+    def test_accepts_channel_dimension(self):
+        scenario = AttackScenario(attackers=(5,), victim=0)
+        truth_masks = attack_direction_masks(TOPO, scenario)
+        canonical = {
+            Direction.EAST: to_canonical(truth_masks[Direction.EAST], Direction.EAST)[
+                ..., None
+            ]
+        }
+        fused = fuse_direction_masks(canonical, TOPO)
+        assert np.allclose(fused, victim_mask(TOPO, scenario))
+
+    def test_natural_orientation_masks(self):
+        scenario = AttackScenario(attackers=(28,), victim=7)
+        truth_masks = attack_direction_masks(TOPO, scenario)
+        fused = fuse_direction_masks(
+            {d: m for d, m in truth_masks.items() if m.any()},
+            TOPO,
+            canonical=False,
+        )
+        assert np.allclose(fused, victim_mask(TOPO, scenario))
+
+    def test_empty_mapping_rejected(self):
+        with pytest.raises(ValueError):
+            fuse_direction_masks({}, TOPO)
+
+    def test_two_attacker_union(self):
+        scenario = AttackScenario(attackers=(5, 30), victim=0)
+        truth_masks = attack_direction_masks(TOPO, scenario)
+        canonical = {d: to_canonical(m, d) for d, m in truth_masks.items() if m.any()}
+        fused = fuse_direction_masks(canonical, TOPO, mode="union")
+        assert np.allclose(fused, victim_mask(TOPO, scenario))

@@ -1,0 +1,83 @@
+"""Unit tests for the CNN DoS profile localizer."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DL2FenceConfig
+from repro.core.localizer import DoSProfileLocalizer, build_localizer_model
+from repro.nn.layers import Conv2D
+from repro.noc.topology import Direction
+
+
+class TestModelArchitecture:
+    def test_output_keeps_frame_geometry(self):
+        model = build_localizer_model((8, 7, 1))
+        out = model.forward(np.zeros((2, 8, 7, 1)))
+        assert out.shape == (2, 8, 7, 1)
+
+    def test_paper_depth_two_conv_layers(self):
+        model = build_localizer_model((8, 7, 1), conv_layers=2)
+        conv_layers = [l for l in model.layers if isinstance(l, Conv2D)]
+        # Two hidden conv layers plus the 1-channel output convolution.
+        assert len(conv_layers) == 3
+        assert conv_layers[0].filters == 8
+        assert conv_layers[-1].filters == 1
+
+    def test_configurable_depth_changes_parameters(self):
+        shallow = build_localizer_model((8, 7, 1), conv_layers=1)
+        deep = build_localizer_model((8, 7, 1), conv_layers=3)
+        assert deep.num_parameters > shallow.num_parameters
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            build_localizer_model((8, 7, 1), conv_layers=0)
+
+    def test_invalid_input_shape(self):
+        with pytest.raises(ValueError):
+            build_localizer_model((8, 7))
+
+
+class TestLocalizerTraining:
+    def test_learns_route_masks(self, small_localization_dataset):
+        localizer = DoSProfileLocalizer(
+            small_localization_dataset.inputs.shape[1:], config=DL2FenceConfig(seed=1)
+        )
+        summary = localizer.fit(small_localization_dataset, epochs=60)
+        assert localizer.trained
+        assert summary.final_dice > 0.6
+        report = localizer.evaluate(small_localization_dataset)
+        assert report.accuracy > 0.8
+        assert "dice" in report.extras
+
+    def test_predict_masks_shape_and_range(self, small_localization_dataset):
+        localizer = DoSProfileLocalizer(small_localization_dataset.inputs.shape[1:])
+        masks = localizer.predict_masks(small_localization_dataset.inputs[:3])
+        assert masks.shape == (3,) + small_localization_dataset.inputs.shape[1:]
+        assert np.all((masks > 0) & (masks < 1))
+
+    def test_segment_frame_handles_natural_orientation(self, trained_pipeline, small_runs):
+        attack_run = next(run for run in small_runs if run.is_attack)
+        sample = attack_run.samples[-1]
+        for direction in Direction.cardinal():
+            frame = sample.boc[direction].normalized("max").values
+            mask = trained_pipeline.localizer.segment_frame(frame, direction)
+            # Output is in canonical orientation: (rows, rows-1).
+            assert mask.shape == (6, 5)
+
+    def test_dice_helper(self, small_localization_dataset, trained_pipeline):
+        dice = trained_pipeline.localizer.dice(small_localization_dataset)
+        assert 0.0 <= dice <= 1.0
+
+
+class TestLocalizerPersistence:
+    def test_save_and_load_round_trip(self, tmp_path, small_localization_dataset):
+        localizer = DoSProfileLocalizer(
+            small_localization_dataset.inputs.shape[1:], config=DL2FenceConfig(seed=2)
+        )
+        localizer.fit(small_localization_dataset, epochs=10)
+        path = localizer.save(tmp_path / "localizer.npz")
+        restored = DoSProfileLocalizer.load(path)
+        assert np.allclose(
+            restored.predict_masks(small_localization_dataset.inputs[:2]),
+            localizer.predict_masks(small_localization_dataset.inputs[:2]),
+        )

@@ -1,0 +1,82 @@
+"""Unit tests for the Victim Completing Enhancement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.vce import estimate_flow_endpoints, victim_completing_enhancement
+from repro.monitor.labeling import attack_port_loads
+from repro.noc.topology import Direction, MeshTopology
+from repro.traffic.scenario import AttackScenario
+
+TOPO = MeshTopology(rows=6)
+
+
+def direction_victims_for(scenario: AttackScenario):
+    loads = attack_port_loads(TOPO, scenario)
+    out = {}
+    for direction, grid in loads.items():
+        nodes = set()
+        for y in range(grid.shape[0]):
+            for x in range(grid.shape[1]):
+                if grid[y, x] > 0:
+                    nodes.add(TOPO.node_id(x, y))
+        out[direction] = nodes
+    return out
+
+
+class TestEndpointEstimation:
+    def test_pure_east_flow(self):
+        scenario = AttackScenario(attackers=(5,), victim=0)
+        pairs = estimate_flow_endpoints(TOPO, direction_victims_for(scenario))
+        assert pairs == [(4, 0)]
+
+    def test_dogleg_flow(self):
+        scenario = AttackScenario(attackers=(28,), victim=7)
+        pairs = estimate_flow_endpoints(TOPO, direction_victims_for(scenario))
+        # Pseudo source: route node adjacent to the attacker (27);
+        # target: end of the Y leg (victim 7).
+        assert pairs == [(27, 7)]
+
+    def test_pure_north_flow(self):
+        scenario = AttackScenario(attackers=(30,), victim=0)
+        pairs = estimate_flow_endpoints(TOPO, direction_victims_for(scenario))
+        assert pairs == [(24, 0)]
+
+    def test_empty_input(self):
+        assert estimate_flow_endpoints(TOPO, {}) == []
+
+
+class TestCompletion:
+    def test_completes_missing_route_nodes(self):
+        """VCE fills gaps in an incomplete fused victim set."""
+        scenario = AttackScenario(attackers=(28,), victim=7)
+        truth = scenario.ground_truth_victims(TOPO)
+        direction_victims = direction_victims_for(scenario)
+        # Simulate a segmentation miss: drop one interior route node.
+        incomplete = set(truth) - {19}
+        completed = victim_completing_enhancement(TOPO, incomplete, direction_victims)
+        assert truth <= completed
+
+    def test_no_op_when_already_complete(self):
+        scenario = AttackScenario(attackers=(5,), victim=0)
+        truth = scenario.ground_truth_victims(TOPO)
+        completed = victim_completing_enhancement(
+            TOPO, set(truth), direction_victims_for(scenario)
+        )
+        assert truth <= completed
+
+    @given(attacker=st.integers(0, 35), victim=st.integers(0, 35))
+    @settings(max_examples=50, deadline=None)
+    def test_single_attacker_route_always_recovered(self, attacker, victim):
+        """With exact per-direction evidence, VCE recovers the full route."""
+        if attacker == victim:
+            return
+        scenario = AttackScenario(attackers=(attacker,), victim=victim)
+        truth = scenario.ground_truth_victims(TOPO)
+        completed = victim_completing_enhancement(
+            TOPO, set(), direction_victims_for(scenario)
+        )
+        assert truth <= completed
+        # VCE never invents nodes outside the mesh.
+        assert all(node in TOPO for node in completed)

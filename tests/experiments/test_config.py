@@ -1,0 +1,54 @@
+"""Unit tests for the experiment configuration."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+
+class TestExperimentConfig:
+    def test_defaults(self):
+        config = ExperimentConfig()
+        assert config.rows == 8
+        assert config.fir == 0.8
+
+    def test_quick_and_paper_scale(self):
+        assert ExperimentConfig.quick().rows < ExperimentConfig().rows
+        assert ExperimentConfig.paper_scale().rows == 16
+        assert ExperimentConfig.paper_scale().sample_period == 1000
+
+    def test_dataset_config_inherits_scale(self):
+        config = ExperimentConfig(rows=6, sample_period=100, seed=3)
+        dataset = config.dataset_config(seed_offset=10)
+        assert dataset.rows == 6
+        assert dataset.sample_period == 100
+        assert dataset.seed == 13
+
+    def test_scaled_override(self):
+        config = ExperimentConfig().scaled(rows=12, fir=0.5)
+        assert config.rows == 12
+        assert config.fir == 0.5
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(rows=2)
+        with pytest.raises(ValueError):
+            ExperimentConfig(scenarios_per_benchmark=0)
+
+    def test_from_environment_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MESH_ROWS", "10")
+        monkeypatch.setenv("REPRO_FIR", "0.5")
+        config = ExperimentConfig.from_environment()
+        assert config.rows == 10
+        assert config.fir == 0.5
+
+    def test_from_environment_defaults_without_vars(self, monkeypatch):
+        for name in (
+            "REPRO_MESH_ROWS",
+            "REPRO_SAMPLES_PER_RUN",
+            "REPRO_SCENARIOS_PER_BENCHMARK",
+            "REPRO_SAMPLE_PERIOD",
+            "REPRO_FIR",
+            "REPRO_SEED",
+        ):
+            monkeypatch.delenv(name, raising=False)
+        assert ExperimentConfig.from_environment() == ExperimentConfig()

@@ -1,0 +1,132 @@
+"""Integration tests for the table/figure experiment drivers (quick scale)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    format_feature_table,
+    format_rows,
+    run_comparison,
+    run_feature_experiment,
+    run_latency_sweep,
+    run_localization_examples,
+    run_overhead_sweep,
+)
+from repro.experiments.localization_examples import paper_example_scenarios
+from repro.monitor.features import FeatureKind
+
+QUICK = ExperimentConfig.quick()
+
+
+@pytest.fixture(scope="module")
+def feature_result():
+    return run_feature_experiment(
+        FeatureKind.VCO,
+        FeatureKind.BOC,
+        benchmarks=["uniform_random", "blackscholes"],
+        config=QUICK,
+    )
+
+
+class TestFeatureExperiment:
+    def test_covers_requested_benchmarks(self, feature_result):
+        assert {r.benchmark for r in feature_result.per_benchmark} == {
+            "uniform_random",
+            "blackscholes",
+        }
+
+    def test_reports_all_metrics(self, feature_result):
+        for result in feature_result.per_benchmark:
+            for metric in ("accuracy", "precision", "recall", "f1"):
+                assert 0.0 <= getattr(result.detection, metric) <= 1.0
+            assert result.localization is not None
+            assert 0.0 <= result.localization.accuracy <= 1.0
+
+    def test_averages_split_stp_and_parsec(self, feature_result):
+        stp = feature_result.average_detection(synthetic=True)
+        parsec = feature_result.average_detection(synthetic=False)
+        overall = feature_result.average_detection()
+        assert stp.support + parsec.support == overall.support
+
+    def test_table_formatting(self, feature_result):
+        text = format_feature_table(feature_result)
+        assert "uniform_random" in text
+        assert "accuracy" in text
+        assert "|" in text
+
+    def test_missing_benchmark_lookup(self, feature_result):
+        with pytest.raises(KeyError):
+            feature_result.result_for("tornado")
+
+
+class TestLatencySweep:
+    def test_sweep_reports_all_points(self):
+        points = run_latency_sweep(firs=(0.0, 0.5, 1.0), config=QUICK, cycles=260)
+        assert [p.fir for p in points] == [0.0, 0.5, 1.0]
+        for point in points:
+            assert point.packet_latency >= 0.0
+            assert 0.0 <= point.delivery_ratio <= 1.0
+
+    def test_attack_degrades_performance(self):
+        points = run_latency_sweep(
+            firs=(0.0, 1.0), config=QUICK.scaled(rows=8), cycles=600, num_attackers=2
+        )
+        baseline, saturated = points
+        assert (
+            saturated.packet_latency > baseline.packet_latency
+            or saturated.delivery_ratio < baseline.delivery_ratio
+        )
+
+
+class TestLocalizationExamples:
+    def test_paper_scenarios_on_16x16(self):
+        single, double = paper_example_scenarios(16)
+        assert single.attackers == (104,)
+        assert single.victim == 0
+        assert double.attackers == (192, 15)
+        assert double.victim == 85
+
+    def test_scenarios_rescaled_for_small_mesh(self):
+        for scenario in paper_example_scenarios(QUICK.rows):
+            assert all(node < QUICK.rows**2 for node in scenario.attackers)
+            assert scenario.victim not in scenario.attackers
+
+    def test_examples_run_and_report(self):
+        examples = run_localization_examples(config=QUICK)
+        assert len(examples) == 2
+        for example in examples:
+            assert 0.0 <= example.report.accuracy <= 1.0
+            assert example.true_victims
+            assert isinstance(example.predicted_attackers, list)
+
+
+class TestOverheadSweep:
+    def test_summary_structure(self):
+        summary = run_overhead_sweep()
+        assert set(summary["measured_percent"]) == {4, 8, 16, 32}
+        assert summary["paper_percent"][16] == 0.45
+        assert 0.0 < summary["saving_8_to_16"] < 1.0
+        assert 0.0 < summary["saving_vs_sniffer_8x8"] < 1.0
+
+
+class TestComparison:
+    def test_measured_and_published_rows(self):
+        summary = run_comparison(config=QUICK, benchmarks=["uniform_random"])
+        names = [row.name for row in summary["measured"]]
+        assert any("dl2fence" in name for name in names)
+        assert {"perceptron", "svm", "gradient_boosting", "threshold"} <= set(names)
+        assert len(summary["published"]) == 4
+        text = format_rows([row.as_dict() for row in summary["measured"]])
+        assert "accuracy" in text
+
+
+class TestFormatRows:
+    def test_empty(self):
+        assert format_rows([]) == "(empty table)"
+
+    def test_alignment_and_none_handling(self):
+        rows = [{"a": 1.23456, "b": None}, {"a": 2.0, "b": "x"}]
+        text = format_rows(rows)
+        assert "N/A" in text
+        assert "1.235" in text

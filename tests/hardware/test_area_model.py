@@ -1,0 +1,82 @@
+"""Unit tests for the NoC and accelerator area models."""
+
+import pytest
+
+from repro.hardware.accelerator import AcceleratorParameters, CNNAcceleratorAreaModel
+from repro.hardware.area_model import GateCosts, NoCAreaModel, RouterParameters
+from repro.noc.topology import MeshTopology
+
+
+class TestRouterArea:
+    def test_more_ports_cost_more(self):
+        model = NoCAreaModel()
+        assert model.router_area(5) > model.router_area(3)
+
+    def test_buffering_dominates(self):
+        model = NoCAreaModel()
+        router = model.router
+        costs = model.costs
+        buffer_gates = 5 * router.num_vcs * router.vc_depth * router.flit_width_bits
+        assert model.router_area(5) > buffer_gates * costs.gates_per_buffer_bit * 0.5
+
+    def test_deeper_buffers_cost_more(self):
+        shallow = NoCAreaModel(RouterParameters(vc_depth=2))
+        deep = NoCAreaModel(RouterParameters(vc_depth=8))
+        assert deep.router_area(5) > shallow.router_area(5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RouterParameters(num_vcs=0)
+        with pytest.raises(ValueError):
+            NoCAreaModel().router_area(1)
+        with pytest.raises(ValueError):
+            GateCosts(gates_per_buffer_bit=-1.0)
+
+
+class TestNoCArea:
+    def test_grows_roughly_quadratically(self):
+        model = NoCAreaModel()
+        area8 = model.mesh_area(8)
+        area16 = model.mesh_area(16)
+        ratio = area16 / area8
+        assert 3.5 < ratio < 4.5
+
+    def test_matches_topology_accounting(self):
+        model = NoCAreaModel()
+        assert model.mesh_area(6) == pytest.approx(model.noc_area(MeshTopology(rows=6)))
+
+    def test_edge_routers_make_mesh_cheaper_than_naive(self):
+        model = NoCAreaModel()
+        naive = 16 * (model.router_area(5) + model.network_interface_area())
+        assert model.mesh_area(4) < naive + 16 * 4 * model.link_area()
+
+
+class TestAcceleratorArea:
+    def test_more_parameters_cost_more(self):
+        model = CNNAcceleratorAreaModel()
+        assert model.accelerator_area(1000, 15) > model.accelerator_area(100, 15)
+
+    def test_fixed_costs_present_for_zero_parameters(self):
+        model = CNNAcceleratorAreaModel()
+        assert model.accelerator_area(0, 15) > 0
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CNNAcceleratorAreaModel().weight_storage_area(-1)
+        with pytest.raises(ValueError):
+            CNNAcceleratorAreaModel().line_buffer_area(0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AcceleratorParameters(weight_bits=0)
+        with pytest.raises(ValueError):
+            AcceleratorParameters(pipelined_kernels=0)
+
+    def test_area_for_model(self):
+        from repro.core.detector import build_detector_model
+
+        detector = build_detector_model((8, 7, 4))
+        model = CNNAcceleratorAreaModel()
+        assert model.area_for_model(detector, 7) == pytest.approx(
+            model.accelerator_area(detector.num_parameters, 7)
+        )

@@ -1,0 +1,92 @@
+"""Tests for the hardware-overhead claims of Figure 5 and Table 4."""
+
+import pytest
+
+from repro.hardware.overhead import (
+    dl2fence_overhead,
+    distributed_scheme_overhead,
+    overhead_vs_mesh_size,
+    relative_saving,
+)
+from repro.hardware.related_works import RELATED_WORKS, comparison_table
+
+
+class TestOverheadReports:
+    def test_breakdown_consistency(self):
+        report = dl2fence_overhead(8)
+        assert report.overhead_fraction == pytest.approx(
+            report.total_accelerator_gates / report.noc_area_gates
+        )
+        assert report.overhead_percent == pytest.approx(100 * report.overhead_fraction)
+        assert report.details["detector_parameters"] > 0
+
+    def test_too_small_mesh_rejected(self):
+        with pytest.raises(ValueError):
+            dl2fence_overhead(3)
+
+
+class TestFigure5Shape:
+    def test_overhead_decreases_with_mesh_size(self):
+        """Figure 5: overhead falls monotonically as the NoC grows."""
+        reports = overhead_vs_mesh_size((4, 8, 16, 32))
+        overheads = [r.overhead_fraction for r in reports]
+        assert overheads == sorted(overheads, reverse=True)
+
+    def test_overhead_within_factor_two_of_paper(self):
+        """Absolute calibration: within ~2x of the paper's reported points."""
+        paper = {4: 0.074, 8: 0.019, 16: 0.0045, 32: 0.0011}
+        for report in overhead_vs_mesh_size((4, 8, 16, 32)):
+            expected = paper[report.rows]
+            assert 0.5 * expected < report.overhead_fraction < 2.0 * expected
+
+    def test_8_to_16_saving_matches_paper_claim(self):
+        """The paper claims a 76.3% overhead decrease from 8x8 to 16x16."""
+        reports = {r.rows: r for r in overhead_vs_mesh_size((8, 16))}
+        saving = relative_saving(
+            reports[16].overhead_fraction, reports[8].overhead_fraction
+        )
+        assert 0.65 < saving < 0.85
+
+    def test_saving_vs_sniffer_matches_paper_claim(self):
+        """The paper claims 42.4% less hardware than Sniffer at 8x8."""
+        report = dl2fence_overhead(8)
+        sniffer = RELATED_WORKS["sniffer"].hardware_overhead_percent / 100
+        saving = relative_saving(report.overhead_fraction, sniffer)
+        assert 0.3 < saving < 0.6
+
+
+class TestDistributedSchemes:
+    def test_constant_in_mesh_size(self):
+        assert distributed_scheme_overhead(8, 0.033) == distributed_scheme_overhead(16, 0.033)
+
+    def test_dl2fence_beats_distributed_at_scale(self):
+        """Global accelerators amortise; per-router schemes do not."""
+        for rows in (8, 16, 32):
+            ours = dl2fence_overhead(rows).overhead_fraction
+            assert ours < distributed_scheme_overhead(rows, 0.033)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            distributed_scheme_overhead(8, -0.1)
+        with pytest.raises(ValueError):
+            distributed_scheme_overhead(1, 0.033)
+        with pytest.raises(ValueError):
+            relative_saving(0.01, 0.0)
+
+
+class TestRelatedWorks:
+    def test_table_contains_all_comparators(self):
+        rows = comparison_table()
+        assert len(rows) == 4
+        assert {row["work"] for row in rows} == {
+            "sniffer",
+            "svm_anomaly",
+            "xgb_global",
+            "dl2fence_paper",
+        }
+
+    def test_paper_row_matches_abstract_numbers(self):
+        dl2fence = RELATED_WORKS["dl2fence_paper"]
+        assert dl2fence.detection_accuracy == pytest.approx(0.958)
+        assert dl2fence.localization_accuracy == pytest.approx(0.917)
+        assert dl2fence.hardware_overhead_percent == pytest.approx(0.45)

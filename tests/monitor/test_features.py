@@ -1,0 +1,101 @@
+"""Unit tests for VCO/BOC feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.monitor.features import (
+    FeatureKind,
+    extract_feature_frame,
+    frame_shape,
+    normalize_frame,
+)
+from repro.noc.network import MeshNetwork
+from repro.noc.packet import Packet
+from repro.noc.topology import Direction, MeshTopology
+
+TOPO = MeshTopology(rows=6)
+
+
+class TestFrameShape:
+    def test_east_west_shapes(self):
+        assert frame_shape(TOPO, Direction.EAST) == (6, 5)
+        assert frame_shape(TOPO, Direction.WEST) == (6, 5)
+
+    def test_north_south_shapes(self):
+        assert frame_shape(TOPO, Direction.NORTH) == (5, 6)
+        assert frame_shape(TOPO, Direction.SOUTH) == (5, 6)
+
+    def test_local_rejected(self):
+        with pytest.raises(ValueError):
+            frame_shape(TOPO, Direction.LOCAL)
+
+    def test_paper_shape_16x16(self):
+        # The paper: "the feature frame always forms an R x (R-1) matrix".
+        topo16 = MeshTopology(rows=16)
+        assert frame_shape(topo16, Direction.EAST) == (16, 15)
+
+
+class TestExtraction:
+    def _network_with_flow(self):
+        network = MeshNetwork(TOPO)
+        # A flow from node 5 (east end of row 0) to node 0 crosses EAST ports.
+        packet = Packet(source=5, destination=0, size_flits=4, created_cycle=0)
+        network.enqueue_packet(packet)
+        for cycle in range(12):
+            network.step(cycle)
+        return network
+
+    def test_boc_frame_nonzero_on_route(self):
+        network = self._network_with_flow()
+        frame = extract_feature_frame(network, Direction.EAST, FeatureKind.BOC)
+        assert frame.shape == (6, 5)
+        # Router 4 receives from router 5 on its EAST port -> column 4, row 0.
+        assert frame[0, 4] > 0
+        # A router far away from the route saw nothing.
+        assert frame[5, 0] == 0
+
+    def test_vco_frame_in_unit_range(self):
+        network = self._network_with_flow()
+        frame = extract_feature_frame(network, Direction.EAST, FeatureKind.VCO)
+        assert np.all(frame >= 0.0)
+        assert np.all(frame <= 1.0)
+
+    def test_empty_network_frames_are_zero(self):
+        network = MeshNetwork(TOPO)
+        for direction in Direction.cardinal():
+            for kind in FeatureKind:
+                assert extract_feature_frame(network, direction, kind).sum() == 0.0
+
+
+class TestNormalization:
+    def test_max_normalization(self):
+        frame = np.array([[2.0, 4.0], [0.0, 8.0]])
+        out = normalize_frame(frame, "max")
+        assert out.max() == 1.0
+        assert np.allclose(out, frame / 8.0)
+
+    def test_minmax_normalization(self):
+        frame = np.array([[2.0, 4.0], [6.0, 10.0]])
+        out = normalize_frame(frame, "minmax")
+        assert out.min() == 0.0
+        assert out.max() == 1.0
+
+    def test_none_returns_copy(self):
+        frame = np.array([[1.0, 2.0]])
+        out = normalize_frame(frame, "none")
+        assert np.allclose(out, frame)
+        out[0, 0] = 99.0
+        assert frame[0, 0] == 1.0
+
+    def test_all_zero_frame_unchanged(self):
+        frame = np.zeros((3, 3))
+        assert normalize_frame(frame, "max").sum() == 0.0
+        assert normalize_frame(frame, "minmax").sum() == 0.0
+
+    def test_constant_frame_minmax_is_zero(self):
+        frame = np.full((2, 2), 5.0)
+        assert normalize_frame(frame, "minmax").sum() == 0.0
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            normalize_frame(np.zeros((2, 2)), "zscore")

@@ -1,0 +1,94 @@
+"""Unit tests for ground-truth labelling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.monitor.features import frame_shape
+from repro.monitor.frames import pad_to_full_mesh
+from repro.monitor.labeling import attack_direction_masks, attack_port_loads, victim_mask
+from repro.noc.topology import Direction, MeshTopology
+from repro.traffic.scenario import AttackScenario
+
+TOPO = MeshTopology(rows=6)
+
+
+class TestVictimMask:
+    def test_single_attacker_same_row(self):
+        # Attacker 5 -> victim 0: victims are nodes 0..4 (row 0).
+        scenario = AttackScenario(attackers=(5,), victim=0)
+        mask = victim_mask(TOPO, scenario)
+        assert mask.shape == (6, 6)
+        assert np.all(mask[0, :5] == 1.0)
+        assert mask[0, 5] == 0.0
+        assert mask.sum() == 5
+
+    def test_dogleg_route(self):
+        # Attacker at (4,4)=28, victim at (1,1)=7: X leg row 4, Y leg column 1.
+        scenario = AttackScenario(attackers=(28,), victim=7)
+        mask = victim_mask(TOPO, scenario)
+        expected_victims = {27, 26, 25, 19, 13, 7}
+        assert mask.sum() == len(expected_victims)
+        for node in expected_victims:
+            x, y = TOPO.coordinates(node)
+            assert mask[y, x] == 1.0
+
+    def test_two_attackers_union(self):
+        scenario = AttackScenario(attackers=(5, 30), victim=0)
+        mask = victim_mask(TOPO, scenario)
+        assert mask[0, 0] == 1.0  # victim flagged once even though on both routes
+        assert mask.sum() == len(scenario.ground_truth_victims(TOPO))
+
+
+class TestPortLoads:
+    def test_east_flow_loads_east_ports(self):
+        scenario = AttackScenario(attackers=(5,), victim=0)
+        loads = attack_port_loads(TOPO, scenario)
+        # Nodes 4,3,2,1,0 receive on their EAST ports.
+        assert loads[Direction.EAST][0, :5].sum() == 5
+        assert loads[Direction.WEST].sum() == 0
+        assert loads[Direction.NORTH].sum() == 0
+
+    def test_converging_flows_accumulate(self):
+        # Two attackers east of the victim in the same row share route links.
+        scenario = AttackScenario(attackers=(5, 4), victim=0)
+        loads = attack_port_loads(TOPO, scenario)
+        # Node 3 receives both flows on its EAST port.
+        assert loads[Direction.EAST][0, 3] == 2.0
+
+    def test_dogleg_uses_two_directions(self):
+        scenario = AttackScenario(attackers=(28,), victim=7)
+        loads = attack_port_loads(TOPO, scenario)
+        assert loads[Direction.EAST].sum() > 0  # X leg (attacker east of victim)
+        assert loads[Direction.NORTH].sum() > 0  # Y leg (moving south, enters via N)
+        assert loads[Direction.WEST].sum() == 0
+        assert loads[Direction.SOUTH].sum() == 0
+
+
+class TestDirectionMasks:
+    def test_shapes_match_frames(self):
+        scenario = AttackScenario(attackers=(28,), victim=7)
+        masks = attack_direction_masks(TOPO, scenario)
+        for direction, mask in masks.items():
+            assert mask.shape == frame_shape(TOPO, direction)
+            assert set(np.unique(mask)) <= {0.0, 1.0}
+
+    def test_union_of_padded_masks_equals_victim_mask(self):
+        scenario = AttackScenario(attackers=(28, 3), victim=7)
+        masks = attack_direction_masks(TOPO, scenario)
+        fused = np.zeros((6, 6))
+        for direction, mask in masks.items():
+            fused += pad_to_full_mesh(mask, TOPO, direction)
+        assert np.allclose((fused > 0).astype(float), victim_mask(TOPO, scenario))
+
+    @given(attacker=st.integers(0, 35), victim=st.integers(0, 35))
+    @settings(max_examples=40, deadline=None)
+    def test_mask_counts_match_route_length(self, attacker, victim):
+        if attacker == victim:
+            return
+        scenario = AttackScenario(attackers=(attacker,), victim=victim)
+        masks = attack_direction_masks(TOPO, scenario)
+        total_marks = sum(int(m.sum()) for m in masks.values())
+        # Every hop of the route marks exactly one directional input port.
+        assert total_marks == TOPO.manhattan_distance(attacker, victim)

@@ -1,0 +1,114 @@
+"""Unit tests for activation layers (values and gradients)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import LeakyReLU, ReLU, Sigmoid, Softmax, Tanh
+
+
+def numeric_gradient(layer, x, grad_out, eps=1e-6):
+    """Central-difference gradient of sum(forward(x) * grad_out)."""
+    grad = np.zeros_like(x)
+    flat_x = x.reshape(-1)
+    flat_g = grad.reshape(-1)
+    for i in range(flat_x.size):
+        original = flat_x[i]
+        flat_x[i] = original + eps
+        plus = float(np.sum(layer.forward(x) * grad_out))
+        flat_x[i] = original - eps
+        minus = float(np.sum(layer.forward(x) * grad_out))
+        flat_x[i] = original
+        flat_g[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestReLU:
+    def test_forward_clips_negative(self):
+        layer = ReLU()
+        out = layer.forward(np.array([[-1.0, 0.0, 2.0]]))
+        assert np.allclose(out, [[0.0, 0.0, 2.0]])
+
+    def test_backward_masks_gradient(self):
+        layer = ReLU()
+        x = np.array([[-1.0, 3.0]])
+        layer.forward(x)
+        grad = layer.backward(np.array([[5.0, 5.0]]))
+        assert np.allclose(grad, [[0.0, 5.0]])
+
+
+class TestLeakyReLU:
+    def test_forward_scales_negative(self):
+        layer = LeakyReLU(alpha=0.1)
+        out = layer.forward(np.array([[-2.0, 4.0]]))
+        assert np.allclose(out, [[-0.2, 4.0]])
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            LeakyReLU(alpha=-0.5)
+
+    def test_gradient_matches_numeric(self):
+        layer = LeakyReLU(alpha=0.2)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(3, 4))
+        grad_out = rng.normal(size=(3, 4))
+        layer.forward(x)
+        analytic = layer.backward(grad_out)
+        numeric = numeric_gradient(layer, x.copy(), grad_out)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+
+class TestSigmoid:
+    def test_range(self):
+        layer = Sigmoid()
+        out = layer.forward(np.array([[-100.0, 0.0, 100.0]]))
+        assert np.all((out >= 0.0) & (out <= 1.0))
+        assert np.isclose(out[0, 1], 0.5)
+
+    def test_numerical_stability_extreme_inputs(self):
+        layer = Sigmoid()
+        out = layer.forward(np.array([[-1e6, 1e6]]))
+        assert np.isfinite(out).all()
+
+    def test_gradient_matches_numeric(self):
+        layer = Sigmoid()
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 5))
+        grad_out = rng.normal(size=(2, 5))
+        layer.forward(x)
+        analytic = layer.backward(grad_out)
+        numeric = numeric_gradient(layer, x.copy(), grad_out)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+
+class TestTanh:
+    def test_gradient_matches_numeric(self):
+        layer = Tanh()
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(2, 3))
+        grad_out = rng.normal(size=(2, 3))
+        layer.forward(x)
+        analytic = layer.backward(grad_out)
+        numeric = numeric_gradient(layer, x.copy(), grad_out)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        layer = Softmax()
+        out = layer.forward(np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]]))
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    def test_shift_invariance(self):
+        layer = Softmax()
+        x = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(layer.forward(x), layer.forward(x + 100.0))
+
+    def test_gradient_matches_numeric(self):
+        layer = Softmax()
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(2, 4))
+        grad_out = rng.normal(size=(2, 4))
+        layer.forward(x)
+        analytic = layer.backward(grad_out)
+        numeric = numeric_gradient(layer, x.copy(), grad_out)
+        assert np.allclose(analytic, numeric, atol=1e-5)

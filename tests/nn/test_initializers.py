@@ -1,0 +1,94 @@
+"""Unit tests for weight initializers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.initializers import (
+    Constant,
+    GlorotUniform,
+    HeNormal,
+    RandomNormal,
+    Zeros,
+    _fan_in_fan_out,
+    get_initializer,
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestFanInFanOut:
+    def test_dense_shape(self):
+        assert _fan_in_fan_out((10, 5)) == (10, 5)
+
+    def test_conv_shape(self):
+        # 3x3 kernel, 4 input channels, 8 filters.
+        assert _fan_in_fan_out((3, 3, 4, 8)) == (36, 72)
+
+    def test_bias_shape(self):
+        assert _fan_in_fan_out((7,)) == (7, 7)
+
+    def test_empty_shape_rejected(self):
+        with pytest.raises(ValueError):
+            _fan_in_fan_out(())
+
+
+class TestZerosAndConstant:
+    def test_zeros(self, rng):
+        out = Zeros()((3, 4), rng)
+        assert out.shape == (3, 4)
+        assert np.all(out == 0.0)
+
+    def test_constant(self, rng):
+        out = Constant(2.5)((2, 2), rng)
+        assert np.all(out == 2.5)
+
+
+class TestRandomNormal:
+    def test_shape_and_spread(self, rng):
+        out = RandomNormal(stddev=0.5)((1000,), rng)
+        assert out.shape == (1000,)
+        assert 0.3 < out.std() < 0.7
+
+    def test_negative_stddev_rejected(self):
+        with pytest.raises(ValueError):
+            RandomNormal(stddev=-1.0)
+
+
+class TestGlorotAndHe:
+    def test_glorot_bounds(self, rng):
+        shape = (100, 50)
+        out = GlorotUniform()(shape, rng)
+        limit = np.sqrt(6.0 / (100 + 50))
+        assert np.all(np.abs(out) <= limit)
+
+    def test_he_scale(self, rng):
+        out = HeNormal()((200, 100), rng)
+        expected_std = np.sqrt(2.0 / 200)
+        assert 0.7 * expected_std < out.std() < 1.3 * expected_std
+
+    @given(rows=st.integers(2, 30), cols=st.integers(2, 30))
+    @settings(max_examples=25, deadline=None)
+    def test_glorot_always_within_limit(self, rows, cols):
+        rng = np.random.default_rng(7)
+        out = GlorotUniform()((rows, cols), rng)
+        limit = np.sqrt(6.0 / (rows + cols))
+        assert np.all(np.abs(out) <= limit + 1e-12)
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert isinstance(get_initializer("he_normal"), HeNormal)
+        assert isinstance(get_initializer("glorot_uniform"), GlorotUniform)
+
+    def test_passthrough_instance(self):
+        init = Constant(1.0)
+        assert get_initializer(init) is init
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_initializer("not_a_real_initializer")

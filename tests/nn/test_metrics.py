@@ -1,0 +1,130 @@
+"""Unit tests for classification/segmentation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.nn.metrics import (
+    ClassificationReport,
+    accuracy_score,
+    confusion_counts,
+    dice_coefficient,
+    f1_score,
+    iou_score,
+    precision_score,
+    recall_score,
+    segmentation_report,
+)
+
+
+class TestConfusionCounts:
+    def test_known_values(self):
+        y_true = np.array([1, 1, 0, 0, 1])
+        y_pred = np.array([1, 0, 0, 1, 1])
+        tp, fp, tn, fn = confusion_counts(y_true, y_pred)
+        assert (tp, fp, tn, fn) == (2, 1, 1, 1)
+
+    def test_threshold_applied_to_scores(self):
+        y_true = np.array([1, 0])
+        scores = np.array([0.7, 0.6])
+        assert confusion_counts(y_true, scores, threshold=0.65) == (1, 0, 1, 0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_counts(np.array([1, 0]), np.array([1, 0, 1]))
+
+
+class TestScalarMetrics:
+    def test_perfect_prediction(self):
+        y = np.array([1, 0, 1, 0])
+        assert accuracy_score(y, y) == 1.0
+        assert precision_score(y, y) == 1.0
+        assert recall_score(y, y) == 1.0
+        assert f1_score(y, y) == 1.0
+
+    def test_all_wrong(self):
+        y_true = np.array([1, 0])
+        y_pred = np.array([0, 1])
+        assert accuracy_score(y_true, y_pred) == 0.0
+        assert f1_score(y_true, y_pred) == 0.0
+
+    def test_precision_with_no_positive_predictions(self):
+        assert precision_score(np.array([1, 1]), np.array([0, 0])) == 1.0
+
+    def test_recall_with_no_positives(self):
+        assert recall_score(np.array([0, 0]), np.array([0, 1])) == 1.0
+
+    def test_known_mixed_case(self):
+        y_true = np.array([1, 1, 1, 0, 0, 0])
+        y_pred = np.array([1, 1, 0, 1, 0, 0])
+        assert np.isclose(precision_score(y_true, y_pred), 2 / 3)
+        assert np.isclose(recall_score(y_true, y_pred), 2 / 3)
+        assert np.isclose(accuracy_score(y_true, y_pred), 4 / 6)
+
+    @given(
+        y_true=npst.arrays(np.int64, 20, elements=st.integers(0, 1)),
+        y_pred=npst.arrays(np.int64, 20, elements=st.integers(0, 1)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_f1_is_harmonic_mean(self, y_true, y_pred):
+        precision = precision_score(y_true, y_pred)
+        recall = recall_score(y_true, y_pred)
+        f1 = f1_score(y_true, y_pred)
+        if precision + recall > 0:
+            assert np.isclose(f1, 2 * precision * recall / (precision + recall))
+        else:
+            assert f1 == 0.0
+
+    @given(
+        y_true=npst.arrays(np.int64, 30, elements=st.integers(0, 1)),
+        y_pred=npst.arrays(np.int64, 30, elements=st.integers(0, 1)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_metrics_bounded(self, y_true, y_pred):
+        for metric in (accuracy_score, precision_score, recall_score, f1_score):
+            assert 0.0 <= metric(y_true, y_pred) <= 1.0
+
+
+class TestMaskMetrics:
+    def test_dice_identical(self):
+        mask = np.ones((4, 4))
+        assert dice_coefficient(mask, mask) == 1.0
+
+    def test_dice_empty_masks(self):
+        empty = np.zeros((4, 4))
+        assert dice_coefficient(empty, empty) == 1.0
+        assert iou_score(empty, empty) == 1.0
+
+    def test_dice_half_overlap(self):
+        a = np.zeros(4)
+        a[:2] = 1
+        b = np.zeros(4)
+        b[1:3] = 1
+        assert np.isclose(dice_coefficient(a, b), 0.5)
+
+    def test_iou_relation_to_dice(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 2, size=50)
+        b = rng.integers(0, 2, size=50)
+        dice = dice_coefficient(a, b)
+        iou = iou_score(a, b)
+        assert np.isclose(dice, 2 * iou / (1 + iou))
+
+
+class TestReports:
+    def test_from_predictions(self):
+        y_true = np.array([1, 0, 1, 1])
+        y_pred = np.array([0.9, 0.2, 0.4, 0.8])
+        report = ClassificationReport.from_predictions(y_true, y_pred)
+        assert report.support == 4
+        assert np.isclose(report.precision, 1.0)
+        assert np.isclose(report.recall, 2 / 3)
+
+    def test_as_dict_includes_extras(self):
+        report = segmentation_report(np.ones((2, 2)), np.ones((2, 2)))
+        data = report.as_dict()
+        assert data["dice"] == 1.0
+        assert data["iou"] == 1.0
+        assert data["accuracy"] == 1.0

@@ -1,0 +1,124 @@
+"""Unit tests for the Sequential model container."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D
+from repro.nn.activations import ReLU, Sigmoid
+from repro.nn.model import Sequential
+
+
+def detector_like_model(seed=0):
+    """The DL2Fence detector architecture at a small frame size."""
+    return Sequential(
+        [
+            Conv2D(filters=8, kernel_size=3),
+            ReLU(),
+            MaxPool2D(pool_size=2),
+            Flatten(),
+            Dense(1),
+            Sigmoid(),
+        ],
+        seed=seed,
+    )
+
+
+class TestBuild:
+    def test_build_propagates_shapes(self):
+        model = detector_like_model().build((8, 7, 4))
+        assert model.output_shape == (1,)
+
+    def test_forward_auto_builds(self):
+        model = detector_like_model()
+        out = model.forward(np.zeros((2, 8, 7, 4)))
+        assert out.shape == (2, 1)
+        assert model.input_shape == (8, 7, 4)
+
+    def test_add_after_build_rejected(self):
+        model = detector_like_model().build((8, 7, 4))
+        with pytest.raises(RuntimeError):
+            model.add(Dense(2))
+
+    def test_shape_mismatch_rejected(self):
+        model = detector_like_model().build((8, 7, 4))
+        with pytest.raises(ValueError):
+            model.forward(np.zeros((2, 6, 5, 4)))
+
+
+class TestForwardBackward:
+    def test_output_in_sigmoid_range(self):
+        model = detector_like_model().build((8, 7, 4))
+        out = model.forward(np.random.default_rng(0).normal(size=(4, 8, 7, 4)))
+        assert np.all((out > 0.0) & (out < 1.0))
+
+    def test_backward_populates_gradients(self):
+        model = detector_like_model().build((8, 7, 4))
+        x = np.random.default_rng(0).normal(size=(3, 8, 7, 4))
+        out = model.forward(x, training=True)
+        model.backward(np.ones_like(out))
+        dense = model.layers[4]
+        assert "W" in dense.grads
+        assert dense.grads["W"].shape == dense.params["W"].shape
+
+    def test_determinism_same_seed(self):
+        x = np.random.default_rng(1).normal(size=(2, 8, 7, 4))
+        out_a = detector_like_model(seed=5).build((8, 7, 4)).forward(x)
+        out_b = detector_like_model(seed=5).build((8, 7, 4)).forward(x)
+        assert np.allclose(out_a, out_b)
+
+    def test_different_seeds_differ(self):
+        x = np.random.default_rng(1).normal(size=(2, 8, 7, 4))
+        out_a = detector_like_model(seed=1).build((8, 7, 4)).forward(x)
+        out_b = detector_like_model(seed=2).build((8, 7, 4)).forward(x)
+        assert not np.allclose(out_a, out_b)
+
+
+class TestPredict:
+    def test_batched_predict_matches_forward(self):
+        model = detector_like_model().build((8, 7, 4))
+        x = np.random.default_rng(2).normal(size=(10, 8, 7, 4))
+        assert np.allclose(model.predict(x, batch_size=3), model.forward(x))
+
+    def test_empty_batch(self):
+        model = detector_like_model().build((8, 7, 4))
+        out = model.predict(np.zeros((0, 8, 7, 4)))
+        assert out.shape == (0, 1)
+
+
+class TestWeights:
+    def test_get_set_round_trip(self):
+        model_a = detector_like_model(seed=1).build((8, 7, 4))
+        model_b = detector_like_model(seed=2).build((8, 7, 4))
+        model_b.set_weights(model_a.get_weights())
+        x = np.random.default_rng(3).normal(size=(2, 8, 7, 4))
+        assert np.allclose(model_a.forward(x), model_b.forward(x))
+
+    def test_set_weights_shape_check(self):
+        model = detector_like_model().build((8, 7, 4))
+        weights = model.get_weights()
+        weights[0]["W"] = np.zeros((1, 1, 1, 1))
+        with pytest.raises(ValueError):
+            model.set_weights(weights)
+
+    def test_set_weights_layer_count_check(self):
+        model = detector_like_model().build((8, 7, 4))
+        with pytest.raises(ValueError):
+            model.set_weights([])
+
+
+class TestIntrospection:
+    def test_num_parameters(self):
+        model = detector_like_model().build((8, 7, 4))
+        conv_params = 3 * 3 * 4 * 8 + 8
+        dense_params = (3 * 2 * 8) * 1 + 1
+        assert model.num_parameters == conv_params + dense_params
+
+    def test_summary_contains_layers(self):
+        model = detector_like_model().build((8, 7, 4))
+        text = model.summary()
+        assert "Conv2D" in text
+        assert "Total parameters" in text
+
+    def test_summary_requires_build(self):
+        with pytest.raises(RuntimeError):
+            detector_like_model().summary()

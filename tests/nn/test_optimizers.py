@@ -1,0 +1,121 @@
+"""Unit tests for optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, Layer
+from repro.nn.optimizers import SGD, Adam, Momentum, get_optimizer
+
+
+class QuadraticLayer(Layer):
+    """Toy layer with loss (w - 3)^2 used to test convergence."""
+
+    def __init__(self):
+        super().__init__()
+        self.params["w"] = np.array([10.0])
+        self.grads["w"] = np.zeros(1)
+
+    def compute_grad(self):
+        self.grads["w"] = 2.0 * (self.params["w"] - 3.0)
+
+
+class TestSGD:
+    def test_single_step(self):
+        layer = QuadraticLayer()
+        layer.compute_grad()
+        SGD(learning_rate=0.1).step([layer])
+        assert np.isclose(layer.params["w"][0], 10.0 - 0.1 * 14.0)
+
+    def test_converges_to_minimum(self):
+        layer = QuadraticLayer()
+        opt = SGD(learning_rate=0.1)
+        for _ in range(100):
+            layer.compute_grad()
+            opt.step([layer])
+        assert abs(layer.params["w"][0] - 3.0) < 1e-3
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.0)
+
+
+class TestMomentum:
+    def test_converges_to_minimum(self):
+        layer = QuadraticLayer()
+        opt = Momentum(learning_rate=0.05, momentum=0.9)
+        for _ in range(200):
+            layer.compute_grad()
+            opt.step([layer])
+        assert abs(layer.params["w"][0] - 3.0) < 1e-2
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            Momentum(momentum=1.0)
+
+
+class TestAdam:
+    def test_converges_to_minimum(self):
+        layer = QuadraticLayer()
+        opt = Adam(learning_rate=0.3)
+        for _ in range(300):
+            layer.compute_grad()
+            opt.step([layer])
+        assert abs(layer.params["w"][0] - 3.0) < 1e-2
+
+    def test_bias_correction_first_step(self):
+        # With bias correction the very first Adam step is ~learning_rate.
+        layer = QuadraticLayer()
+        opt = Adam(learning_rate=0.1)
+        layer.compute_grad()
+        opt.step([layer])
+        assert np.isclose(layer.params["w"][0], 10.0 - 0.1, atol=1e-6)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+
+
+class TestClipping:
+    def test_clip_norm_limits_update(self):
+        layer = QuadraticLayer()
+        layer.grads["w"] = np.array([1000.0])
+        SGD(learning_rate=1.0, clip_norm=1.0).step([layer])
+        assert np.isclose(layer.params["w"][0], 9.0)
+
+    def test_invalid_clip(self):
+        with pytest.raises(ValueError):
+            SGD(clip_norm=0.0)
+
+
+class TestStateIsolation:
+    def test_adam_keeps_state_per_parameter(self):
+        rng = np.random.default_rng(0)
+        layer_a = Dense(2)
+        layer_b = Dense(2)
+        layer_a.build((3,), rng)
+        layer_b.build((3,), rng)
+        layer_a.grads["W"] = np.ones_like(layer_a.params["W"])
+        layer_b.grads["W"] = np.ones_like(layer_b.params["W"])
+        layer_a.grads["b"] = np.ones_like(layer_a.params["b"])
+        layer_b.grads["b"] = np.ones_like(layer_b.params["b"])
+        opt = Adam(learning_rate=0.1)
+        before_b = layer_b.params["W"].copy()
+        opt.step([layer_a, layer_b])
+        # Both layers were updated, with independent state entries.
+        assert not np.allclose(layer_b.params["W"], before_b)
+        assert len(opt._m) == 4
+
+
+class TestRegistry:
+    def test_lookup_with_kwargs(self):
+        opt = get_optimizer("adam", learning_rate=0.05)
+        assert isinstance(opt, Adam)
+        assert opt.learning_rate == 0.05
+
+    def test_instance_passthrough(self):
+        opt = SGD()
+        assert get_optimizer(opt) is opt
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_optimizer("rmsprop-ish")

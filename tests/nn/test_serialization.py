@@ -1,0 +1,71 @@
+"""Unit tests for model save/load."""
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import ReLU, Sigmoid
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D
+from repro.nn.model import Sequential
+from repro.nn.serialization import load_model, save_model
+
+
+def build_model(seed=0):
+    model = Sequential(
+        [
+            Conv2D(filters=4, kernel_size=3, padding="same"),
+            ReLU(),
+            MaxPool2D(pool_size=2),
+            Flatten(),
+            Dense(1),
+            Sigmoid(),
+        ],
+        seed=seed,
+    )
+    model.build((6, 6, 2))
+    return model
+
+
+class TestSaveLoad:
+    def test_round_trip_preserves_predictions(self, tmp_path):
+        model = build_model()
+        x = np.random.default_rng(0).normal(size=(3, 6, 6, 2))
+        expected = model.predict(x)
+        path = save_model(model, tmp_path / "model.npz")
+        restored = load_model(path)
+        assert np.allclose(restored.predict(x), expected)
+
+    def test_round_trip_preserves_architecture(self, tmp_path):
+        model = build_model()
+        path = save_model(model, tmp_path / "model.npz")
+        restored = load_model(path)
+        assert [type(l).__name__ for l in restored.layers] == [
+            type(l).__name__ for l in model.layers
+        ]
+        assert restored.num_parameters == model.num_parameters
+        assert restored.input_shape == model.input_shape
+
+    def test_save_appends_npz_suffix(self, tmp_path):
+        model = build_model()
+        path = save_model(model, tmp_path / "model")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_load_accepts_path_without_suffix(self, tmp_path):
+        model = build_model()
+        save_model(model, tmp_path / "model")
+        restored = load_model(tmp_path / "model")
+        assert restored.num_parameters == model.num_parameters
+
+    def test_save_unbuilt_model_rejected(self, tmp_path):
+        model = Sequential([Dense(1)])
+        with pytest.raises(ValueError):
+            save_model(model, tmp_path / "model.npz")
+
+    def test_creates_parent_directories(self, tmp_path):
+        model = build_model()
+        path = save_model(model, tmp_path / "nested" / "dir" / "model.npz")
+        assert path.exists()
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_model(tmp_path / "does_not_exist.npz")

@@ -1,0 +1,131 @@
+"""Unit tests for the training loop and dataset utilities."""
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import ReLU, Sigmoid
+from repro.nn.layers import Dense
+from repro.nn.model import Sequential
+from repro.nn.optimizers import Adam
+from repro.nn.training import EarlyStopping, Trainer, train_test_split
+
+
+def make_separable_dataset(n=120, seed=0):
+    """Two Gaussian blobs that a small MLP separates easily."""
+    rng = np.random.default_rng(seed)
+    half = n // 2
+    x0 = rng.normal(-1.0, 0.5, size=(half, 2))
+    x1 = rng.normal(1.0, 0.5, size=(half, 2))
+    x = np.vstack([x0, x1])
+    y = np.vstack([np.zeros((half, 1)), np.ones((half, 1))])
+    return x, y
+
+
+def make_mlp(seed=0):
+    return Sequential([Dense(8), ReLU(), Dense(1), Sigmoid()], seed=seed)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        x = np.arange(40).reshape(20, 2)
+        y = np.arange(20)
+        x_tr, x_te, y_tr, y_te = train_test_split(x, y, test_fraction=0.25, seed=0)
+        assert x_te.shape[0] == 5
+        assert x_tr.shape[0] == 15
+        assert y_tr.shape[0] == 15
+
+    def test_partition_is_disjoint_and_complete(self):
+        x = np.arange(30)
+        x_tr, x_te = train_test_split(x, test_fraction=0.3, seed=1)
+        assert sorted(np.concatenate([x_tr, x_te]).tolist()) == list(range(30))
+
+    def test_rows_stay_aligned(self):
+        x = np.arange(20)
+        y = np.arange(20) * 10
+        x_tr, x_te, y_tr, y_te = train_test_split(x, y, test_fraction=0.2, seed=2)
+        assert np.all(y_tr == x_tr * 10)
+        assert np.all(y_te == x_te * 10)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.arange(10), test_fraction=1.5)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.arange(10), np.arange(5))
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        stopper = EarlyStopping(patience=2, min_delta=0.0)
+        assert not stopper.update(1.0)
+        assert not stopper.update(1.0)
+        assert stopper.update(1.0)
+
+    def test_reset_on_improvement(self):
+        stopper = EarlyStopping(patience=2, min_delta=0.01)
+        assert not stopper.update(1.0)
+        assert not stopper.update(0.99)  # no real improvement vs min_delta? (1.0-0.99 < ...)
+        assert not stopper.update(0.5)  # big improvement resets the counter
+        assert not stopper.update(0.5)
+        assert stopper.update(0.5)
+
+
+class TestTrainer:
+    def test_learns_separable_data(self):
+        x, y = make_separable_dataset()
+        model = make_mlp()
+        trainer = Trainer(model, loss="bce", optimizer=Adam(learning_rate=0.05))
+        history = trainer.fit(x, y, epochs=60, batch_size=16)
+        assert history.metric[-1] > 0.95
+        assert history.loss[-1] < history.loss[0]
+
+    def test_history_tracks_validation(self):
+        x, y = make_separable_dataset()
+        x_tr, x_te, y_tr, y_te = train_test_split(x, y, test_fraction=0.25, seed=0)
+        model = make_mlp()
+        trainer = Trainer(model, loss="bce", optimizer=Adam(learning_rate=0.05))
+        history = trainer.fit(
+            x_tr, y_tr, epochs=20, batch_size=16, validation_data=(x_te, y_te)
+        )
+        assert len(history.val_loss) == history.epochs
+        assert len(history.val_metric) == history.epochs
+
+    def test_early_stopping_cuts_training(self):
+        x, y = make_separable_dataset()
+        model = make_mlp()
+        trainer = Trainer(model, loss="bce", optimizer=Adam(learning_rate=0.05))
+        history = trainer.fit(
+            x, y, epochs=500, batch_size=16, early_stopping=EarlyStopping(patience=3)
+        )
+        assert history.epochs < 500
+
+    def test_evaluate_returns_loss_and_metric(self):
+        x, y = make_separable_dataset()
+        model = make_mlp()
+        trainer = Trainer(model, loss="bce", optimizer=Adam(learning_rate=0.05))
+        trainer.fit(x, y, epochs=40, batch_size=16)
+        loss, metric = trainer.evaluate(x, y)
+        assert loss < 0.3
+        assert metric > 0.9
+
+    def test_rejects_empty_dataset(self):
+        trainer = Trainer(make_mlp())
+        with pytest.raises(ValueError):
+            trainer.fit(np.zeros((0, 2)), np.zeros((0, 1)))
+
+    def test_rejects_misaligned_data(self):
+        trainer = Trainer(make_mlp())
+        with pytest.raises(ValueError):
+            trainer.fit(np.zeros((4, 2)), np.zeros((3, 1)))
+
+    def test_best_epoch(self):
+        x, y = make_separable_dataset()
+        model = make_mlp()
+        trainer = Trainer(model, loss="bce", optimizer=Adam(learning_rate=0.05))
+        history = trainer.fit(x, y, epochs=10, batch_size=16)
+        assert 0 <= history.best_epoch() < history.epochs
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            Trainer(make_mlp(), metric="auc")

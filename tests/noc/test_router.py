@@ -1,0 +1,153 @@
+"""Unit tests for the router, input ports and virtual channels."""
+
+import pytest
+
+from repro.noc.packet import Packet
+from repro.noc.router import InputPort, Router, VirtualChannel
+from repro.noc.topology import Direction, MeshTopology
+
+
+def flits_of(source=0, destination=1, size=3, malicious=False):
+    return Packet(
+        source=source, destination=destination, size_flits=size, is_malicious=malicious
+    ).to_flits()
+
+
+class TestVirtualChannel:
+    def test_head_allocates_and_tail_releases(self):
+        vc = VirtualChannel(depth=4)
+        head, body, tail = flits_of(size=3)
+        vc.push(head)
+        assert vc.occupied
+        assert vc.allocated_packet == head.packet.packet_id
+        vc.push(body)
+        vc.push(tail)
+        assert vc.pop() is head
+        assert vc.pop() is body
+        assert vc.pop() is tail
+        assert not vc.occupied
+        assert vc.allocated_packet is None
+
+    def test_rejects_foreign_body_flit(self):
+        vc = VirtualChannel(depth=4)
+        head_a = flits_of()[0]
+        body_b = flits_of()[1]
+        vc.push(head_a)
+        assert not vc.can_accept(body_b)
+        with pytest.raises(RuntimeError):
+            vc.push(body_b)
+
+    def test_rejects_second_head_while_occupied(self):
+        vc = VirtualChannel(depth=4)
+        vc.push(flits_of()[0])
+        other_head = flits_of(destination=2)[0]
+        assert not vc.can_accept(other_head)
+
+    def test_depth_limit(self):
+        vc = VirtualChannel(depth=2)
+        head, body, tail = flits_of(size=3)
+        vc.push(head)
+        vc.push(body)
+        assert not vc.has_space
+        assert not vc.can_accept(tail)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(RuntimeError):
+            VirtualChannel(depth=2).pop()
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            VirtualChannel(depth=0)
+
+
+class TestInputPort:
+    def test_vco_counts_occupied_vcs(self):
+        port = InputPort(Direction.EAST, num_vcs=4, vc_depth=4)
+        assert port.instantaneous_occupancy == 0.0
+        head = flits_of()[0]
+        vc = port.free_vc_for(head)
+        port.write_flit(head, vc)
+        assert port.instantaneous_occupancy == 0.25
+
+    def test_windowed_vco_averages_over_cycles(self):
+        port = InputPort(Direction.EAST, num_vcs=4, vc_depth=4)
+        port.accumulate_occupancy()  # empty -> 0.0
+        head = flits_of()[0]
+        port.write_flit(head, port.free_vc_for(head))
+        port.accumulate_occupancy()  # one VC busy -> 0.25
+        assert port.vc_occupancy == pytest.approx(0.125)
+
+    def test_reset_clears_windowed_stats(self):
+        port = InputPort(Direction.EAST, num_vcs=2, vc_depth=2)
+        head = flits_of()[0]
+        port.write_flit(head, port.free_vc_for(head))
+        port.accumulate_occupancy()
+        port.reset_counters()
+        assert port.buffer_operation_count == 0
+        assert port.occupancy_samples == 0
+
+    def test_boc_counts_reads_and_writes(self):
+        port = InputPort(Direction.EAST, num_vcs=2, vc_depth=4)
+        head, body, tail = flits_of(size=3)
+        vc = port.free_vc_for(head)
+        port.write_flit(head, vc)
+        port.write_flit(body, vc)
+        port.read_flit(vc)
+        assert port.buffer_writes == 2
+        assert port.buffer_reads == 1
+        assert port.buffer_operation_count == 3
+
+    def test_free_vc_prefers_allocated_vc_for_body(self):
+        port = InputPort(Direction.EAST, num_vcs=2, vc_depth=4)
+        head, body, _ = flits_of(size=3)
+        vc = port.free_vc_for(head)
+        port.write_flit(head, vc)
+        assert port.free_vc_for(body) is vc
+
+    def test_free_vc_none_when_full(self):
+        port = InputPort(Direction.EAST, num_vcs=1, vc_depth=1)
+        head = flits_of()[0]
+        port.write_flit(head, port.free_vc_for(head))
+        other = flits_of(destination=3)[0]
+        assert port.free_vc_for(other) is None
+
+    def test_invalid_vc_count(self):
+        with pytest.raises(ValueError):
+            InputPort(Direction.EAST, num_vcs=0, vc_depth=4)
+
+
+class TestRouter:
+    def test_interior_router_has_five_input_ports(self):
+        topo = MeshTopology(rows=4)
+        router = Router(5, topo)
+        assert set(router.input_ports) == {Direction.LOCAL, *Direction.cardinal()}
+
+    def test_corner_router_has_three_input_ports(self):
+        topo = MeshTopology(rows=4)
+        router = Router(0, topo)
+        assert set(router.input_ports) == {
+            Direction.LOCAL,
+            Direction.EAST,
+            Direction.NORTH,
+        }
+
+    def test_vco_boc_default_zero_for_missing_ports(self):
+        topo = MeshTopology(rows=4)
+        router = Router(0, topo)
+        assert router.vco(Direction.WEST) == 0.0
+        assert router.boc(Direction.SOUTH) == 0
+
+    def test_reset_counters_propagates(self):
+        topo = MeshTopology(rows=4)
+        router = Router(5, topo)
+        port = router.input_ports[Direction.EAST]
+        head = flits_of()[0]
+        port.write_flit(head, port.free_vc_for(head))
+        router.reset_counters()
+        assert router.boc(Direction.EAST) == 0
+
+    def test_accumulate_occupancy_covers_all_ports(self):
+        topo = MeshTopology(rows=4)
+        router = Router(5, topo)
+        router.accumulate_occupancy()
+        assert all(p.occupancy_samples == 1 for p in router.input_ports.values())

@@ -1,0 +1,140 @@
+"""Unit and property-based tests for XY routing and reverse deduction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.routing import (
+    reverse_xy_sources,
+    xy_next_direction,
+    xy_route_path,
+    xy_route_victims,
+)
+from repro.noc.topology import Direction, MeshTopology
+
+
+class TestNextDirection:
+    def test_arrived(self):
+        topo = MeshTopology(rows=4)
+        assert xy_next_direction(topo, 5, 5) is Direction.LOCAL
+
+    def test_x_before_y(self):
+        topo = MeshTopology(rows=4)
+        # Destination is north-east: X resolves first, so go EAST.
+        assert xy_next_direction(topo, 0, 15) is Direction.EAST
+        # Same column: go NORTH.
+        assert xy_next_direction(topo, 3, 15) is Direction.NORTH
+
+    def test_west_and_south(self):
+        topo = MeshTopology(rows=4)
+        assert xy_next_direction(topo, 15, 12) is Direction.WEST
+        assert xy_next_direction(topo, 12, 0) is Direction.SOUTH
+
+
+class TestRoutePath:
+    def test_same_row(self):
+        topo = MeshTopology(rows=4)
+        assert xy_route_path(topo, 0, 3) == [0, 1, 2, 3]
+
+    def test_dogleg_route(self):
+        topo = MeshTopology(rows=4)
+        # From (0,0) to (2,2): east twice, then north twice.
+        assert xy_route_path(topo, 0, 10) == [0, 1, 2, 6, 10]
+
+    def test_single_node(self):
+        topo = MeshTopology(rows=4)
+        assert xy_route_path(topo, 7, 7) == [7]
+
+    @given(rows=st.integers(3, 12), a=st.integers(0, 200), b=st.integers(0, 200))
+    @settings(max_examples=60, deadline=None)
+    def test_path_is_minimal_and_connected(self, rows, a, b):
+        topo = MeshTopology(rows=rows)
+        a, b = a % topo.num_nodes, b % topo.num_nodes
+        path = xy_route_path(topo, a, b)
+        assert path[0] == a
+        assert path[-1] == b
+        assert len(path) == topo.manhattan_distance(a, b) + 1
+        for u, v in zip(path[:-1], path[1:]):
+            assert v in topo.neighbors(u).values()
+
+    @given(rows=st.integers(3, 12), a=st.integers(0, 200), b=st.integers(0, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_path_has_at_most_one_turn(self, rows, a, b):
+        topo = MeshTopology(rows=rows)
+        a, b = a % topo.num_nodes, b % topo.num_nodes
+        path = xy_route_path(topo, a, b)
+        rows_seen = [topo.coordinates(n)[1] for n in path]
+        # Under XY routing the Y coordinate changes only in the final leg.
+        changes = sum(1 for r1, r2 in zip(rows_seen[:-1], rows_seen[1:]) if r1 != r2)
+        cols_seen = [topo.coordinates(n)[0] for n in path]
+        col_changes = sum(1 for c1, c2 in zip(cols_seen[:-1], cols_seen[1:]) if c1 != c2)
+        assert changes + col_changes == len(path) - 1
+
+
+class TestRouteVictims:
+    def test_excludes_source_by_default(self):
+        topo = MeshTopology(rows=4)
+        assert xy_route_victims(topo, 0, 3) == [1, 2, 3]
+
+    def test_include_source(self):
+        topo = MeshTopology(rows=4)
+        assert xy_route_victims(topo, 0, 3, include_source=True) == [0, 1, 2, 3]
+
+
+class TestReverseXY:
+    def test_east_attacker(self):
+        # Attacker east of the victims in the same row: candidate is max + 1.
+        topo = MeshTopology(rows=4)
+        assert reverse_xy_sources(topo, [1, 2], Direction.EAST) == [3]
+
+    def test_west_attacker(self):
+        topo = MeshTopology(rows=4)
+        assert reverse_xy_sources(topo, [1, 2], Direction.WEST) == [0]
+
+    def test_north_attacker(self):
+        topo = MeshTopology(rows=4)
+        assert reverse_xy_sources(topo, [2, 6], Direction.NORTH) == [10]
+
+    def test_south_attacker(self):
+        topo = MeshTopology(rows=4)
+        assert reverse_xy_sources(topo, [10, 6], Direction.SOUTH) == [2]
+
+    def test_candidate_off_mesh_is_dropped(self):
+        topo = MeshTopology(rows=4)
+        assert reverse_xy_sources(topo, [3], Direction.EAST) == []
+        assert reverse_xy_sources(topo, [12, 13], Direction.NORTH) == []
+
+    def test_candidate_wrapping_row_is_dropped(self):
+        topo = MeshTopology(rows=4)
+        # min(victims)=4 is at the west edge; 3 is in the previous row.
+        assert reverse_xy_sources(topo, [4, 5], Direction.WEST) == []
+
+    def test_empty_victims(self):
+        topo = MeshTopology(rows=4)
+        assert reverse_xy_sources(topo, [], Direction.EAST) == []
+
+    def test_local_direction_rejected(self):
+        topo = MeshTopology(rows=4)
+        with pytest.raises(ValueError):
+            reverse_xy_sources(topo, [1], Direction.LOCAL)
+
+    @given(rows=st.integers(4, 12), attacker=st.integers(0, 200), victim=st.integers(0, 200))
+    @settings(max_examples=60, deadline=None)
+    def test_reverse_recovers_straight_line_attacker(self, rows, attacker, victim):
+        """For straight-line routes the reverse rule recovers the attacker."""
+        topo = MeshTopology(rows=rows)
+        attacker, victim = attacker % topo.num_nodes, victim % topo.num_nodes
+        ax, ay = topo.coordinates(attacker)
+        vx, vy = topo.coordinates(victim)
+        if attacker == victim or (ax != vx and ay != vy):
+            return  # only straight-line scenarios in this property
+        victims = xy_route_victims(topo, attacker, victim)
+        if ax > vx:
+            direction = Direction.EAST
+        elif ax < vx:
+            direction = Direction.WEST
+        elif ay > vy:
+            direction = Direction.NORTH
+        else:
+            direction = Direction.SOUTH
+        assert reverse_xy_sources(topo, victims, direction) == [attacker]

@@ -1,0 +1,47 @@
+"""Smoke tests for the example applications.
+
+The examples are full experiment runs (minutes each), so these tests only
+check that every example compiles, documents itself, and exposes a ``main``
+entry point — the benchmark suite exercises the underlying drivers at scale.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_at_least_four_examples_exist():
+    assert len(EXAMPLE_FILES) >= 4
+    names = {path.name for path in EXAMPLE_FILES}
+    assert "quickstart.py" in names
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+class TestExampleStructure:
+    def test_compiles(self, path):
+        ast.parse(path.read_text(), filename=str(path))
+
+    def test_has_module_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} is missing a docstring"
+
+    def test_has_main_entry_point(self, path):
+        tree = ast.parse(path.read_text())
+        function_names = {
+            node.name for node in ast.walk(tree) if isinstance(node, ast.FunctionDef)
+        }
+        assert "main" in function_names
+        assert "__main__" in path.read_text()
+
+    def test_only_uses_public_repro_imports(self, path):
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                root = node.module.split(".")[0]
+                assert root in {"repro", "numpy", "__future__", "sys"}, (
+                    f"{path.name} imports unexpected module {node.module}"
+                )

@@ -1,0 +1,107 @@
+"""Unit tests for the refined FIR-adjustable flooding DoS model."""
+
+import numpy as np
+import pytest
+
+from repro.noc.simulator import NoCSimulator, SimulationConfig
+from repro.noc.topology import MeshTopology
+from repro.traffic.flooding import FloodingAttacker, FloodingConfig
+from repro.traffic.synthetic import UniformRandomTraffic
+
+TOPO = MeshTopology(rows=6)
+
+
+class TestFloodingConfig:
+    def test_valid(self):
+        config = FloodingConfig(attackers=(1, 2), victim=20, fir=0.5)
+        assert config.num_attackers == 2
+
+    def test_invalid_fir(self):
+        with pytest.raises(ValueError):
+            FloodingConfig(attackers=(1,), victim=2, fir=1.5)
+
+    def test_empty_attackers(self):
+        with pytest.raises(ValueError):
+            FloodingConfig(attackers=(), victim=2)
+
+    def test_victim_cannot_attack_itself(self):
+        with pytest.raises(ValueError):
+            FloodingConfig(attackers=(3,), victim=3)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            FloodingConfig(attackers=(1,), victim=2, start_cycle=10, end_cycle=5)
+
+    def test_node_outside_mesh_rejected(self):
+        config = FloodingConfig(attackers=(100,), victim=2)
+        with pytest.raises(ValueError):
+            FloodingAttacker(config, TOPO)
+
+
+class TestInjectionBehaviour:
+    def test_fir_zero_is_inactive(self):
+        attacker = FloodingAttacker(FloodingConfig(attackers=(1,), victim=30, fir=0.0), TOPO)
+        assert not attacker.active
+        assert attacker.packets_for_cycle(5) == []
+
+    def test_fir_one_injects_every_cycle(self):
+        attacker = FloodingAttacker(FloodingConfig(attackers=(1,), victim=30, fir=1.0), TOPO)
+        for cycle in range(20):
+            packets = attacker.packets_for_cycle(cycle)
+            assert len(packets) == 1
+            assert packets[0].is_malicious
+            assert packets[0].source == 1
+            assert packets[0].destination == 30
+
+    def test_fir_controls_rate(self):
+        attacker = FloodingAttacker(
+            FloodingConfig(attackers=(1,), victim=30, fir=0.3), TOPO, seed=0
+        )
+        total = sum(len(attacker.packets_for_cycle(c)) for c in range(2000))
+        assert 0.25 * 2000 < total < 0.35 * 2000
+
+    def test_multiple_attackers_inject_independently(self):
+        attacker = FloodingAttacker(
+            FloodingConfig(attackers=(1, 7, 20), victim=30, fir=1.0), TOPO
+        )
+        packets = attacker.packets_for_cycle(0)
+        assert sorted(p.source for p in packets) == [1, 7, 20]
+
+    def test_attack_window(self):
+        attacker = FloodingAttacker(
+            FloodingConfig(attackers=(1,), victim=30, fir=1.0, start_cycle=10, end_cycle=20),
+            TOPO,
+        )
+        assert attacker.packets_for_cycle(5) == []
+        assert attacker.packets_for_cycle(15) != []
+        assert attacker.packets_for_cycle(25) == []
+        assert attacker.is_active_at(10)
+        assert not attacker.is_active_at(20)
+
+
+class TestSystemImpact:
+    @staticmethod
+    def _run(fir, cycles=500):
+        sim = NoCSimulator(SimulationConfig(rows=6, warmup_cycles=0, seed=1))
+        sim.add_source(UniformRandomTraffic(sim.topology, injection_rate=0.03, seed=1))
+        if fir > 0:
+            sim.add_source(
+                FloodingAttacker(
+                    FloodingConfig(attackers=(35, 30), victim=0, fir=fir), sim.topology, seed=2
+                )
+            )
+        sim.run(cycles)
+        sim.drain(max_cycles=2000)
+        return sim
+
+    def test_flooding_increases_benign_latency(self):
+        """Figure 1's core claim: benign latency grows with the FIR."""
+        baseline = self._run(0.0).latency(benign_only=True).packet_latency
+        attacked = self._run(0.9).latency(benign_only=True).packet_latency
+        assert attacked > baseline
+
+    def test_flooding_congests_route_buffers(self):
+        sim = self._run(1.0, cycles=300)
+        victim_router = sim.network.router(0)
+        total_boc = sum(victim_router.boc(d) for d in victim_router.input_ports)
+        assert total_boc > 0

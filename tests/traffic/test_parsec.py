@@ -1,0 +1,100 @@
+"""Unit tests for the PARSEC-like workload models."""
+
+import numpy as np
+import pytest
+
+from repro.noc.topology import MeshTopology
+from repro.traffic.parsec import (
+    PARSEC_WORKLOADS,
+    ParsecPhase,
+    ParsecWorkload,
+    make_parsec_workload,
+)
+from repro.traffic.synthetic import UniformRandomTraffic
+
+TOPO = MeshTopology(rows=8)
+
+
+class TestPhases:
+    def test_three_workloads_defined(self):
+        assert set(PARSEC_WORKLOADS) == {"blackscholes", "bodytrack", "x264"}
+
+    def test_phase_fractions_sum_to_one(self):
+        for phases in PARSEC_WORKLOADS.values():
+            assert sum(p.duration_fraction for p in phases) == pytest.approx(1.0)
+
+    def test_invalid_phase(self):
+        with pytest.raises(ValueError):
+            ParsecPhase("bad", duration_fraction=0.0, injection_rate=0.01)
+        with pytest.raises(ValueError):
+            ParsecPhase("bad", duration_fraction=0.5, injection_rate=2.0)
+
+    def test_phase_at_progression(self):
+        workload = ParsecWorkload("blackscholes", TOPO, total_cycles=1000)
+        assert workload.phase_at(0).name == "init"
+        assert workload.phase_at(500).name == "roi"
+        assert workload.phase_at(950).name == "finish"
+
+    def test_phase_wraps_around(self):
+        workload = ParsecWorkload("blackscholes", TOPO, total_cycles=1000)
+        assert workload.phase_at(1000).name == workload.phase_at(0).name
+
+
+class TestConstruction:
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            ParsecWorkload("ferret", TOPO)
+
+    def test_custom_phases_must_sum_to_one(self):
+        phases = (
+            ParsecPhase("a", 0.5, 0.01),
+            ParsecPhase("b", 0.2, 0.01),
+        )
+        with pytest.raises(ValueError):
+            ParsecWorkload("custom", TOPO, phases=phases)
+
+    def test_memory_controllers_at_corners(self):
+        workload = make_parsec_workload("bodytrack", TOPO)
+        assert set(workload.memory_controllers) <= set(TOPO.nodes())
+        assert 0 in workload.memory_controllers
+        assert 63 in workload.memory_controllers
+
+    def test_extra_memory_controllers_placed(self):
+        workload = ParsecWorkload("x264", TOPO, num_memory_controllers=6)
+        assert len(workload.memory_controllers) == 6
+
+
+class TestTrafficCharacteristics:
+    def test_lower_rate_than_synthetic(self):
+        """PARSEC traffic is roughly an order of magnitude lighter than STP."""
+        parsec = make_parsec_workload("blackscholes", TOPO, total_cycles=600, seed=0)
+        synthetic = UniformRandomTraffic(TOPO, injection_rate=0.02, seed=0)
+        parsec_packets = sum(len(parsec.packets_for_cycle(c)) for c in range(600))
+        synthetic_packets = sum(len(synthetic.packets_for_cycle(c)) for c in range(600))
+        assert parsec_packets < 0.6 * synthetic_packets
+
+    def test_destinations_valid_and_not_self(self):
+        workload = make_parsec_workload("x264", TOPO, seed=1)
+        for cycle in range(0, 400, 7):
+            for packet in workload.packets_for_cycle(cycle):
+                assert packet.destination in TOPO
+                assert packet.destination != packet.source
+
+    def test_hotspot_traffic_targets_memory_controllers(self):
+        workload = make_parsec_workload("blackscholes", TOPO, seed=2)
+        controller_hits = 0
+        total = 0
+        for cycle in range(1500):
+            for packet in workload.packets_for_cycle(cycle):
+                total += 1
+                if packet.destination in workload.memory_controllers:
+                    controller_hits += 1
+        assert total > 0
+        assert controller_hits / total > 0.3
+
+    def test_reproducible_with_seed(self):
+        a = make_parsec_workload("bodytrack", TOPO, seed=5)
+        b = make_parsec_workload("bodytrack", TOPO, seed=5)
+        pa = [(p.source, p.destination) for c in range(50) for p in a.packets_for_cycle(c)]
+        pb = [(p.source, p.destination) for c in range(50) for p in b.packets_for_cycle(c)]
+        assert pa == pb

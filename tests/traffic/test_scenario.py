@@ -1,0 +1,112 @@
+"""Unit tests for attack-scenario composition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.routing import xy_route_victims
+from repro.noc.topology import MeshTopology
+from repro.traffic.scenario import AttackScenario, ScenarioGenerator, benchmark_names
+
+TOPO = MeshTopology(rows=8)
+
+
+class TestBenchmarkNames:
+    def test_six_plus_three(self):
+        names = benchmark_names()
+        assert len(names) == 9
+        assert "uniform_random" in names
+        assert "x264" in names
+
+    def test_synthetic_only(self):
+        assert len(benchmark_names(include_parsec=False)) == 6
+
+
+class TestAttackScenario:
+    def test_valid(self):
+        scenario = AttackScenario(attackers=(10, 20), victim=5, fir=0.8)
+        assert scenario.num_attackers == 2
+
+    def test_victim_not_attacker(self):
+        with pytest.raises(ValueError):
+            AttackScenario(attackers=(5,), victim=5)
+
+    def test_requires_attackers(self):
+        with pytest.raises(ValueError):
+            AttackScenario(attackers=(), victim=5)
+
+    def test_invalid_fir(self):
+        with pytest.raises(ValueError):
+            AttackScenario(attackers=(1,), victim=5, fir=-0.1)
+
+    def test_flooding_config_conversion(self):
+        scenario = AttackScenario(attackers=(10,), victim=5, fir=0.6)
+        config = scenario.flooding_config(packet_size_flits=8)
+        assert config.attackers == (10,)
+        assert config.victim == 5
+        assert config.fir == 0.6
+        assert config.packet_size_flits == 8
+
+    def test_attacker_source_construction(self):
+        scenario = AttackScenario(attackers=(10,), victim=5, fir=1.0)
+        attacker = scenario.attacker_source(TOPO, seed=0)
+        packets = attacker.packets_for_cycle(0)
+        assert packets[0].source == 10
+
+    def test_ground_truth_victims_single_attacker(self):
+        scenario = AttackScenario(attackers=(3,), victim=0)
+        assert scenario.ground_truth_victims(TOPO) == set(xy_route_victims(TOPO, 3, 0))
+
+    def test_ground_truth_victims_union_of_routes(self):
+        scenario = AttackScenario(attackers=(3, 24), victim=0)
+        expected = set(xy_route_victims(TOPO, 3, 0)) | set(xy_route_victims(TOPO, 24, 0))
+        assert scenario.ground_truth_victims(TOPO) == expected
+
+    def test_describe_mentions_key_facts(self):
+        scenario = AttackScenario(attackers=(3,), victim=0, fir=0.8, benchmark="tornado")
+        text = scenario.describe()
+        assert "tornado" in text
+        assert "0.8" in text
+
+
+class TestScenarioGenerator:
+    def test_respects_attacker_count_and_distance(self):
+        generator = ScenarioGenerator(TOPO, seed=0)
+        scenario = generator.random_scenario(num_attackers=2, min_distance=3)
+        assert scenario.num_attackers == 2
+        for attacker in scenario.attackers:
+            assert TOPO.manhattan_distance(attacker, scenario.victim) >= 3
+
+    def test_reproducible(self):
+        a = ScenarioGenerator(TOPO, seed=42).random_scenario()
+        b = ScenarioGenerator(TOPO, seed=42).random_scenario()
+        assert a == b
+
+    def test_invalid_attacker_count(self):
+        generator = ScenarioGenerator(TOPO, seed=0)
+        with pytest.raises(ValueError):
+            generator.random_scenario(num_attackers=0)
+        with pytest.raises(ValueError):
+            generator.random_scenario(num_attackers=TOPO.num_nodes)
+
+    def test_suite_covers_all_benchmarks(self):
+        generator = ScenarioGenerator(TOPO, seed=1)
+        suite = generator.scenario_suite(scenarios_per_benchmark=2)
+        assert len(suite) == 18  # the paper's "18 attack scenarios"
+        assert {s.benchmark for s in suite} == set(benchmark_names())
+
+    def test_suite_alternates_attacker_counts(self):
+        generator = ScenarioGenerator(TOPO, seed=2)
+        suite = generator.scenario_suite(
+            benchmarks=["uniform_random"], scenarios_per_benchmark=2
+        )
+        assert [s.num_attackers for s in suite] == [1, 2]
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_generated_scenarios_always_valid(self, seed):
+        generator = ScenarioGenerator(TOPO, seed=seed)
+        scenario = generator.random_scenario(num_attackers=2)
+        assert scenario.victim not in scenario.attackers
+        assert len(set(scenario.attackers)) == 2
+        assert all(node in TOPO for node in scenario.attackers)

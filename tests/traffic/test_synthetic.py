@@ -1,0 +1,138 @@
+"""Unit tests for the synthetic traffic patterns."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.topology import MeshTopology
+from repro.traffic.synthetic import (
+    SYNTHETIC_PATTERNS,
+    BitComplementTraffic,
+    BitRotationTraffic,
+    NeighborTraffic,
+    ShuffleTraffic,
+    TornadoTraffic,
+    UniformRandomTraffic,
+    make_synthetic_traffic,
+)
+
+TOPO8 = MeshTopology(rows=8)
+
+
+class TestFactory:
+    def test_all_six_patterns_registered(self):
+        assert set(SYNTHETIC_PATTERNS) == {
+            "uniform_random",
+            "tornado",
+            "shuffle",
+            "neighbor",
+            "bit_rotation",
+            "bit_complement",
+        }
+
+    def test_name_normalisation(self):
+        traffic = make_synthetic_traffic("Bit Complement", TOPO8)
+        assert isinstance(traffic, BitComplementTraffic)
+
+    def test_unknown_pattern(self):
+        with pytest.raises(KeyError):
+            make_synthetic_traffic("transpose", TOPO8)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            UniformRandomTraffic(TOPO8, injection_rate=1.5)
+
+
+class TestDestinations:
+    def test_uniform_random_never_self(self):
+        traffic = UniformRandomTraffic(TOPO8, seed=0)
+        for source in range(TOPO8.num_nodes):
+            for _ in range(5):
+                assert traffic.destination_for(source) != source
+
+    def test_uniform_random_covers_many_destinations(self):
+        traffic = UniformRandomTraffic(TOPO8, seed=0)
+        destinations = {traffic.destination_for(0) for _ in range(200)}
+        assert len(destinations) > 30
+
+    def test_bit_complement(self):
+        traffic = BitComplementTraffic(TOPO8)
+        assert traffic.destination_for(0) == 63
+        assert traffic.destination_for(63) == 0
+        assert traffic.destination_for(21) == 42
+
+    def test_bit_complement_is_involution(self):
+        traffic = BitComplementTraffic(TOPO8)
+        for node in TOPO8.nodes():
+            assert traffic.destination_for(traffic.destination_for(node)) == node
+
+    def test_shuffle_rotates_left(self):
+        traffic = ShuffleTraffic(TOPO8)
+        # 64 nodes -> 6 bits; 0b000001 -> 0b000010
+        assert traffic.destination_for(1) == 2
+        # MSB wraps to LSB: 0b100000 -> 0b000001
+        assert traffic.destination_for(32) == 1
+
+    def test_bit_rotation_rotates_right(self):
+        traffic = BitRotationTraffic(TOPO8)
+        # 0b000010 -> 0b000001
+        assert traffic.destination_for(2) == 1
+        # LSB wraps to MSB: 0b000001 -> 0b100000
+        assert traffic.destination_for(1) == 32
+
+    def test_shuffle_and_rotation_are_inverses(self):
+        shuffle = ShuffleTraffic(TOPO8)
+        rotation = BitRotationTraffic(TOPO8)
+        for node in TOPO8.nodes():
+            assert rotation.destination_for(shuffle.destination_for(node)) == node
+
+    def test_neighbor_sends_east_with_wraparound(self):
+        traffic = NeighborTraffic(TOPO8)
+        assert traffic.destination_for(0) == 1
+        assert traffic.destination_for(7) == 0  # east edge wraps to column 0
+
+    def test_tornado_offset(self):
+        traffic = TornadoTraffic(TOPO8)
+        dest = traffic.destination_for(0)
+        x, y = TOPO8.coordinates(dest)
+        assert x == 3  # half minus one of 8 columns
+        assert y == 3
+
+    @given(pattern=st.sampled_from(sorted(SYNTHETIC_PATTERNS)), node=st.integers(0, 63))
+    @settings(max_examples=60, deadline=None)
+    def test_destinations_always_on_mesh(self, pattern, node):
+        traffic = make_synthetic_traffic(pattern, TOPO8, seed=3)
+        assert traffic.destination_for(node) in TOPO8
+
+
+class TestInjectionProcess:
+    def test_rate_zero_generates_nothing(self):
+        traffic = UniformRandomTraffic(TOPO8, injection_rate=0.0)
+        assert traffic.packets_for_cycle(0) == []
+
+    def test_rate_statistics(self):
+        traffic = UniformRandomTraffic(TOPO8, injection_rate=0.05, seed=1)
+        total = sum(len(traffic.packets_for_cycle(c)) for c in range(200))
+        expected = 0.05 * TOPO8.num_nodes * 200
+        assert 0.7 * expected < total < 1.3 * expected
+
+    def test_packets_are_benign_and_timestamped(self):
+        traffic = UniformRandomTraffic(TOPO8, injection_rate=0.5, seed=2)
+        packets = traffic.packets_for_cycle(17)
+        assert packets
+        assert all(not p.is_malicious for p in packets)
+        assert all(p.created_cycle == 17 for p in packets)
+
+    def test_reproducible_with_seed(self):
+        a = UniformRandomTraffic(TOPO8, injection_rate=0.1, seed=9)
+        b = UniformRandomTraffic(TOPO8, injection_rate=0.1, seed=9)
+        pa = [(p.source, p.destination) for p in a.packets_for_cycle(0)]
+        pb = [(p.source, p.destination) for p in b.packets_for_cycle(0)]
+        assert pa == pb
+
+    def test_neighbor_pattern_self_traffic_skipped(self):
+        # On a 1-column mesh the neighbor pattern maps every node to itself.
+        topo = MeshTopology(rows=4, columns=1)
+        traffic = NeighborTraffic(topo, injection_rate=1.0)
+        assert traffic.packets_for_cycle(0) == []
