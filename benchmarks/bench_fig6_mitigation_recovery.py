@@ -1,0 +1,54 @@
+"""Figure 6 (beyond the paper): closed-loop mitigation and recovery.
+
+The paper stops at localization; this bench measures the fence it enables.
+Expected shape: the guard detects within a couple of sampling windows, the
+countermeasure engages shortly after, and benign latency under mitigation
+lands far below the unmitigated attack latency — close to the no-attack
+baseline — at every swept FIR and policy.
+"""
+
+from bench_utils import run_once, write_result
+
+from repro.experiments.mitigation import run_mitigation_sweep
+from repro.experiments.tables import format_rows
+
+FIRS = (0.4, 0.8)
+
+
+def test_fig6_mitigation_recovery(benchmark, experiment_config):
+    points = run_once(
+        benchmark,
+        run_mitigation_sweep,
+        firs=FIRS,
+        rows_values=(experiment_config.rows,),
+        config=experiment_config,
+    )
+
+    rows = [point.as_dict() for point in points]
+    text = format_rows(rows)
+    worst = max(points, key=lambda p: p.recovery_ratio)
+    detections = [p.detection_latency for p in points if p.detection_latency is not None]
+    mitigations = [
+        p.time_to_mitigation for p in points if p.time_to_mitigation is not None
+    ]
+    summary = (
+        f"\nmesh: {experiment_config.rows}x{experiment_config.rows}, "
+        f"benign workload: uniform_random, single attacker\n"
+        f"worst recovery ratio {worst.recovery_ratio:.2f}x "
+        f"(fir={worst.fir}, policy={worst.policy}); "
+        f"detection within {max(detections, default='n/a')} cycles, "
+        f"mitigation within {max(mitigations, default='n/a')} cycles"
+    )
+    write_result("fig6_mitigation_recovery", text + summary)
+
+    for point in points:
+        # The attack must be caught and acted upon at every operating point.
+        assert point.detected
+        assert point.detection_latency is not None
+        assert point.time_to_mitigation is not None
+        assert point.time_to_mitigation >= point.detection_latency
+        # Mitigation must beat doing nothing and land near the baseline.
+        assert point.mitigated_latency < point.unmitigated_latency
+        assert point.recovery_ratio < 1.4
+        if point.policy == "quarantine":
+            assert point.recovery_ratio < 1.25

@@ -6,11 +6,15 @@ inference/training steps), which is what determines how far the experiment
 scale can be pushed.
 """
 
+import time
+
 import numpy as np
 import pytest
 
+from bench_utils import write_result
+
 from repro.core.detector import build_detector_model
-from repro.core.localizer import build_localizer_model
+from repro.core.localizer import DoSProfileLocalizer, build_localizer_model
 from repro.monitor.features import FeatureKind, extract_feature_frame
 from repro.noc.network import MeshNetwork
 from repro.noc.simulator import NoCSimulator, SimulationConfig
@@ -69,6 +73,70 @@ def test_localizer_inference_16x16(benchmark):
     batch = np.random.default_rng(0).random((16, 16, 15, 1))
     out = benchmark(lambda: model.predict(batch))
     assert out.shape == (16, 16, 15, 1)
+
+
+def _directional_frames(rows=16, seed=0):
+    rng = np.random.default_rng(seed)
+    frames = {}
+    for direction in Direction.cardinal():
+        shape = (
+            (rows, rows - 1)
+            if direction in (Direction.EAST, Direction.WEST)
+            else (rows - 1, rows)
+        )
+        frames[direction] = rng.random(shape)
+    return frames
+
+
+def test_localizer_four_directions_loop_16x16(benchmark):
+    localizer = DoSProfileLocalizer((16, 15, 1))
+    frames = _directional_frames()
+    benchmark(
+        lambda: [
+            localizer.segment_frame(frames[d], d) for d in Direction.cardinal()
+        ]
+    )
+
+
+def test_localizer_four_directions_batched_16x16(benchmark):
+    localizer = DoSProfileLocalizer((16, 15, 1))
+    frames = _directional_frames()
+    masks = benchmark(lambda: localizer.segment_frames(frames))
+    assert set(masks) == set(Direction.cardinal())
+
+
+def test_localizer_batching_speedup_recorded():
+    """One batched forward pass must beat four per-direction calls.
+
+    This is the online fast path of ``DL2Fence.process_sample``: the speedup
+    is recorded so regressions in the batching path are visible.
+    """
+    localizer = DoSProfileLocalizer((16, 15, 1))
+    frames = _directional_frames()
+    rounds = 20
+    start = time.perf_counter()
+    for _ in range(rounds):
+        loop_masks = {
+            d: localizer.segment_frame(frames[d], d) for d in Direction.cardinal()
+        }
+    mid = time.perf_counter()
+    for _ in range(rounds):
+        batched_masks = localizer.segment_frames(frames)
+    end = time.perf_counter()
+    for direction in Direction.cardinal():
+        assert np.allclose(loop_masks[direction], batched_masks[direction])
+    loop_time, batched_time = mid - start, end - mid
+    speedup = loop_time / max(batched_time, 1e-12)
+    write_result(
+        "micro_localizer_batching",
+        f"16x16 localizer, 4 directional frames, {rounds} rounds\n"
+        f"per-direction loop : {loop_time * 1e3 / rounds:8.3f} ms/sample\n"
+        f"batched forward    : {batched_time * 1e3 / rounds:8.3f} ms/sample\n"
+        f"speedup            : {speedup:8.2f}x",
+    )
+    # No wall-clock assertion: timings on shared runners are too noisy to
+    # gate on.  The recorded speedup makes regressions visible; the
+    # equivalence assertions above are the correctness gate.
 
 
 def test_detector_training_step_8x8(benchmark):

@@ -13,6 +13,8 @@ the paper's evaluation depends on:
 * :mod:`repro.nn` — a NumPy deep-learning framework for the two CNNs;
 * :mod:`repro.core` — the DL2Fence detector, localizer, Multi-Frame Fusion,
   Victim Completing Enhancement and Table-Like Method;
+* :mod:`repro.defense` — the closed-loop runtime guard that throttles or
+  quarantines localized attackers and measures recovery;
 * :mod:`repro.baselines` — comparator detectors (perceptron, SVM, gradient
   boosting, threshold);
 * :mod:`repro.hardware` — the analytical hardware-overhead model;
@@ -38,6 +40,7 @@ from repro.core import (
     LocalizationResult,
     TableLikeMethod,
 )
+from repro.defense import DL2FenceGuard, DefenseReport, MitigationPolicy
 from repro.monitor import (
     DatasetBuilder,
     DatasetConfig,
@@ -61,9 +64,12 @@ __all__ = [
     "AttackScenario",
     "DL2Fence",
     "DL2FenceConfig",
+    "DL2FenceGuard",
     "DatasetBuilder",
     "DatasetConfig",
+    "DefenseReport",
     "Direction",
+    "MitigationPolicy",
     "DoSDetector",
     "DoSProfileLocalizer",
     "FeatureKind",

@@ -145,6 +145,32 @@ class DoSProfileLocalizer:
         canonical = to_canonical(np.asarray(frame, dtype=np.float64), direction)
         return self.predict_masks(canonical[..., None])[0, ..., 0]
 
+    def segment_frames(
+        self, frames: dict[Direction, np.ndarray]
+    ) -> dict[Direction, np.ndarray]:
+        """Segment several directional frames in one batched forward pass.
+
+        Equivalent to calling :meth:`segment_frame` per direction but runs a
+        single CNN inference over the stacked canonical frames — the fast
+        path the online pipeline uses every sampling window, where one call
+        amortises the convolution setup across all four directions.
+        """
+        if not frames:
+            return {}
+        directions = list(frames)
+        batch = np.stack(
+            [
+                to_canonical(np.asarray(frames[direction], dtype=np.float64), direction)
+                for direction in directions
+            ],
+            axis=0,
+        )[..., None]
+        masks = self.predict_masks(batch)
+        return {
+            direction: masks[index, ..., 0]
+            for index, direction in enumerate(directions)
+        }
+
     # -- evaluation ------------------------------------------------------------
     def evaluate(self, dataset: LocalizationDataset) -> ClassificationReport:
         """Per-pixel segmentation metrics (accuracy/precision/recall/F1 + dice)."""

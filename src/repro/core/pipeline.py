@@ -135,16 +135,19 @@ class DL2Fence:
             return result
 
         localization_frames = sample.feature(self.config.localization_feature)
-        direction_masks: dict[Direction, np.ndarray] = {}
-        abnormal: list[Direction] = []
+        prepared: dict[Direction, np.ndarray] = {}
         for direction in Direction.cardinal():
             values = localization_frames[direction].values
             if self.config.localization_normalization != "none":
                 values = normalize_frame(
                     values, method=self.config.localization_normalization
                 )
-            probability_mask = self.localizer.segment_frame(values, direction)
-            direction_masks[direction] = probability_mask
+            prepared[direction] = values
+        # One batched CNN call for all four directions (the online fast path).
+        direction_masks = self.localizer.segment_frames(prepared)
+        abnormal: list[Direction] = []
+        for direction in Direction.cardinal():
+            probability_mask = direction_masks[direction]
             positives = int(
                 (probability_mask >= self.config.segmentation_threshold).sum()
             )

@@ -1,0 +1,28 @@
+"""Closed-loop runtime defense built on top of the DL2Fence pipeline.
+
+The paper's framework detects and localizes refined flooding-DoS so that a
+*fence* can act on the result.  This package is that fence:
+
+* :mod:`repro.defense.policy` — throttle/quarantine countermeasures with
+  confidence hysteresis (N detections to engage, M clean windows to release)
+  and false-positive-safe per-node rollback;
+* :mod:`repro.defense.guard` — :class:`DL2FenceGuard`, the online loop that
+  subscribes to the global performance monitor stream, runs each window
+  through the trained pipeline, and pulls the injection rate-limit hook on
+  the mesh for every localized attacker;
+* :mod:`repro.defense.report` — :class:`DefenseReport`, the per-window
+  timeline with detection latency, time-to-mitigation, benign latency
+  before/during/after engagement, and collateral-damage accounting.
+"""
+
+from repro.defense.guard import DL2FenceGuard
+from repro.defense.policy import MitigationPolicy
+from repro.defense.report import DefenseEvent, DefenseReport, WindowRecord
+
+__all__ = [
+    "DL2FenceGuard",
+    "DefenseEvent",
+    "DefenseReport",
+    "MitigationPolicy",
+    "WindowRecord",
+]

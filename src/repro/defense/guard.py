@@ -1,0 +1,284 @@
+"""Online DL2Fence guard: closed-loop detection, localization and mitigation.
+
+The guard turns the offline DL2Fence pipeline into a runtime system.  It
+subscribes to the :class:`~repro.monitor.sampler.GlobalPerformanceMonitor`
+stream, pushes every sampling window through the trained detector/localizer
+(using the batched single-forward fast path of
+:meth:`repro.core.pipeline.DL2Fence.process_sample`), and pulls the
+injection rate-limit hook on the mesh's source queues for every node the
+Table-Like Method pins as an attacker.
+
+Engagement and release follow the hysteresis of the configured
+:class:`~repro.defense.policy.MitigationPolicy` so a single noisy window can
+neither trip nor lift the fence, and nodes that stop being re-flagged roll
+back automatically even while an attack continues elsewhere.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import DL2Fence
+from repro.defense.policy import MitigationPolicy
+from repro.defense.report import DefenseEvent, DefenseReport, WindowRecord
+from repro.monitor.frames import FrameSample
+from repro.monitor.sampler import GlobalPerformanceMonitor, MonitorConfig
+from repro.noc.simulator import NoCSimulator
+
+__all__ = ["DL2FenceGuard"]
+
+
+@dataclass
+class _EngagedNode:
+    """Book-keeping for one node under an active countermeasure."""
+
+    node: int
+    previous_limit: float
+    engaged_cycle: int
+    windows_since_flagged: int = 0
+
+
+class DL2FenceGuard:
+    """Attaches DL2Fence to a live simulator and acts on what it localizes."""
+
+    def __init__(
+        self,
+        fence: DL2Fence,
+        policy: MitigationPolicy | None = None,
+        attack_start: int | None = None,
+        attack_end: int | None = None,
+        true_attackers: tuple[int, ...] = (),
+        force_localization: bool = False,
+    ) -> None:
+        """``attack_start``, ``attack_end`` and ``true_attackers`` are
+        optional ground truth used only for evaluation metrics (detection
+        latency, recovery, collateral); the guard's decisions never read
+        them."""
+        self.fence = fence
+        self.policy = policy or MitigationPolicy()
+        self.force_localization = force_localization
+        self.simulator: NoCSimulator | None = None
+        self.monitor: GlobalPerformanceMonitor | None = None
+        self.report = DefenseReport(
+            policy=self.policy,
+            sample_period=0,
+            attack_start=attack_start,
+            attack_end=attack_end,
+            true_attackers=tuple(true_attackers),
+        )
+        self._engaged: dict[int, _EngagedNode] = {}
+        # Consecutive detection windows each candidate node was flagged in —
+        # per-node engagement hysteresis, so one spurious localization in an
+        # otherwise correct detection streak cannot fence an innocent node.
+        self._flag_streaks: dict[int, int] = {}
+        self._consecutive_detections = 0
+        self._consecutive_clean = 0
+        self._delivered_index = 0
+        self._window_index = 0
+
+    # -- wiring ------------------------------------------------------------
+    def attach(
+        self,
+        simulator: NoCSimulator,
+        monitor: GlobalPerformanceMonitor | None = None,
+        monitor_config: MonitorConfig | None = None,
+    ) -> "DL2FenceGuard":
+        """Wire the guard into a simulator's monitoring stream.
+
+        Reuses ``monitor`` when given (it must already observe ``simulator``);
+        otherwise creates and attaches a fresh
+        :class:`GlobalPerformanceMonitor` with ``monitor_config``.
+        """
+        if monitor is None:
+            monitor = GlobalPerformanceMonitor(monitor_config).attach(simulator)
+        self.simulator = simulator
+        self.monitor = monitor
+        self.report.sample_period = monitor.config.sample_period
+        monitor.add_listener(self.on_sample)
+        return self
+
+    # -- state --------------------------------------------------------------
+    @property
+    def engaged_nodes(self) -> list[int]:
+        """Nodes currently under an active countermeasure."""
+        return sorted(self._engaged)
+
+    @property
+    def is_engaged(self) -> bool:
+        return bool(self._engaged)
+
+    # -- the closed loop -----------------------------------------------------
+    def on_sample(self, sample: FrameSample, simulator: NoCSimulator) -> None:
+        """Process one sampling window: detect, localize, mitigate, record."""
+        engaged_at_start = bool(self._engaged)
+        result = self.fence.process_sample(
+            sample, force_localization=self.force_localization
+        )
+        latency, benign_count, malicious_count = self._window_latency(simulator)
+
+        if result.detected:
+            if self._consecutive_detections == 0:
+                self.report.events.append(
+                    DefenseEvent(
+                        cycle=sample.cycle,
+                        kind="detected",
+                        detail=f"p={result.detection_probability:.2f}",
+                    )
+                )
+            self._consecutive_detections += 1
+            self._consecutive_clean = 0
+        else:
+            self._consecutive_clean += 1
+            self._consecutive_detections = 0
+            if not self._engaged:
+                # Before anything engages, a clean window breaks every flag
+                # streak: engagement requires N *consecutive* detections.
+                # While mitigation is active, clean windows are expected (the
+                # fence suppresses the evidence), so streaks survive there.
+                self._flag_streaks.clear()
+
+        if result.detected:
+            self._engage_flagged(result.attackers, sample.cycle, simulator)
+            self._rollback_stale(set(result.attackers), sample.cycle, simulator)
+        elif self._engaged and self._consecutive_clean >= self.policy.release_after:
+            self._release_all(sample.cycle, simulator)
+
+        if engaged_at_start:
+            phase = "mitigated"
+        elif result.detected:
+            phase = "attack"
+        else:
+            phase = "benign"
+        self.report.windows.append(
+            WindowRecord(
+                index=self._window_index,
+                cycle=sample.cycle,
+                detected=result.detected,
+                probability=result.detection_probability,
+                phase=phase,
+                victims=tuple(result.victims),
+                attackers=tuple(result.attackers),
+                restricted=tuple(sorted(self._engaged)),
+                benign_latency=latency,
+                benign_delivered=benign_count,
+                malicious_delivered=malicious_count,
+            )
+        )
+        self._window_index += 1
+
+    # -- mitigation mechanics ---------------------------------------------------
+    def _engage_flagged(
+        self, attackers: list[int], cycle: int, simulator: NoCSimulator
+    ) -> None:
+        """Apply the countermeasure to persistently localized attackers.
+
+        A node engages only once it has been flagged in ``engage_after``
+        consecutive detection windows — per-node hysteresis on top of the
+        detection itself, which keeps one-off localization noise from
+        throttling innocents.
+        """
+        flagged = set(attackers)
+        for node in list(self._flag_streaks):
+            if node not in flagged:
+                del self._flag_streaks[node]
+        newly_engaged = []
+        for node in attackers:
+            if node in self._engaged:
+                continue
+            streak = self._flag_streaks.get(node, 0) + 1
+            self._flag_streaks[node] = streak
+            if streak < self.policy.engage_after:
+                continue
+            previous = simulator.network.injection_limit(node)
+            simulator.throttle_node(node, self.policy.injection_limit)
+            if self.policy.flush_queue:
+                simulator.network.flush_source_queue(node)
+            self._engaged[node] = _EngagedNode(
+                node=node, previous_limit=previous, engaged_cycle=cycle
+            )
+            newly_engaged.append(node)
+        if newly_engaged:
+            self.report.events.append(
+                DefenseEvent(
+                    cycle=cycle,
+                    kind="engaged",
+                    nodes=tuple(newly_engaged),
+                    detail=f"limit={self.policy.injection_limit:g}",
+                )
+            )
+
+    def _rollback_stale(
+        self, flagged: set[int], cycle: int, simulator: NoCSimulator
+    ) -> None:
+        """Release engaged nodes the localizer has stopped flagging."""
+        rolled_back = []
+        for node, state in list(self._engaged.items()):
+            if node in flagged:
+                state.windows_since_flagged = 0
+                continue
+            state.windows_since_flagged += 1
+            if state.windows_since_flagged >= self.policy.stale_after:
+                self._release_node(node, simulator)
+                rolled_back.append(node)
+        if rolled_back:
+            self.report.events.append(
+                DefenseEvent(
+                    cycle=cycle,
+                    kind="rolled_back",
+                    nodes=tuple(rolled_back),
+                    detail="no longer localized",
+                )
+            )
+            if not self._engaged:
+                # The rollback lifted the last restriction: record a full
+                # release so the report's release_cycle reflects reality.
+                self.report.events.append(
+                    DefenseEvent(
+                        cycle=cycle,
+                        kind="released",
+                        nodes=tuple(rolled_back),
+                        detail="all restrictions rolled back",
+                    )
+                )
+
+    def _release_all(self, cycle: int, simulator: NoCSimulator) -> None:
+        released = sorted(self._engaged)
+        for node in released:
+            self._release_node(node, simulator)
+        self._flag_streaks.clear()
+        self.report.events.append(
+            DefenseEvent(
+                cycle=cycle,
+                kind="released",
+                nodes=tuple(released),
+                detail=f"{self._consecutive_clean} clean windows",
+            )
+        )
+
+    def _release_node(self, node: int, simulator: NoCSimulator) -> None:
+        state = self._engaged.pop(node)
+        if self.policy.flush_queue:
+            # Restart the interface cleanly: the backlog accumulated while
+            # fenced would otherwise pour out the moment the limit lifts.
+            simulator.network.flush_source_queue(node)
+        simulator.throttle_node(node, state.previous_limit)
+
+    # -- measurement ----------------------------------------------------------
+    def _window_latency(self, simulator: NoCSimulator) -> tuple[float, int, int]:
+        """Mean benign latency and delivery counts since the last window."""
+        delivered = simulator.stats.delivered
+        new = delivered[self._delivered_index :]
+        self._delivered_index = len(delivered)
+        benign = [p.total_latency() for p in new if not p.is_malicious]
+        malicious_count = len(new) - len(benign)
+        mean = float(np.mean(benign)) if benign else math.nan
+        return mean, len(benign), malicious_count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DL2FenceGuard(policy={self.policy.name}, "
+            f"engaged={self.engaged_nodes}, windows={self._window_index})"
+        )

@@ -1,0 +1,101 @@
+"""Mitigation policies applied to localized attackers.
+
+The paper positions DL2Fence as the detection/localization front end of a
+*fence*: once attackers are pinpointed, the NoC can rate-limit or isolate
+their network interfaces.  A :class:`MitigationPolicy` captures the two
+countermeasures the defense guard knows how to apply through the
+:meth:`repro.noc.network.MeshNetwork.set_injection_limit` hook —
+
+* **throttle** — localized attackers keep a small fraction of their injection
+  bandwidth, so a false positive degrades an innocent node instead of cutting
+  it off;
+* **quarantine** — localized attackers are blocked outright, the strongest
+  (and least forgiving) response.
+
+Both are wrapped in confidence hysteresis: the guard only engages after
+``engage_after`` consecutive detected windows, fully rolls back after
+``release_after`` consecutive clean windows, and releases an individual node
+early when the localizer stops re-flagging it for ``stale_after`` detection
+windows (false-positive-safe rollback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MitigationPolicy"]
+
+_ACTIONS = ("throttle", "quarantine")
+
+
+@dataclass(frozen=True)
+class MitigationPolicy:
+    """Configuration of the closed-loop countermeasure.
+
+    Attributes
+    ----------
+    action:
+        ``"throttle"`` rate-limits flagged attackers to ``throttle_factor``
+        of their injection bandwidth; ``"quarantine"`` blocks them entirely.
+    throttle_factor:
+        Injection-bandwidth fraction granted to a throttled attacker
+        (ignored for quarantine).
+    engage_after:
+        Consecutive detected sampling windows a node must be localized in
+        before the countermeasure engages on it (trigger hysteresis, N).
+    release_after:
+        Consecutive clean windows required before all restrictions are
+        rolled back (release hysteresis, M).
+    stale_after:
+        Detection windows an engaged node may go without being re-flagged by
+        the localizer before it is individually released — the
+        false-positive-safe automatic rollback.
+    flush_queue:
+        Discard the backlog queued at an attacker's network interface when
+        the countermeasure engages *and again when it releases*, so a fenced
+        flood cannot pour out once the limit lifts.  Costs any benign
+        packets the node had queued, which the collateral accounting makes
+        visible.
+    """
+
+    action: str = "throttle"
+    throttle_factor: float = 0.1
+    engage_after: int = 2
+    release_after: int = 2
+    stale_after: int = 3
+    flush_queue: bool = False
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(f"action must be one of {_ACTIONS}")
+        if not 0.0 < self.throttle_factor < 1.0:
+            raise ValueError("throttle_factor must be in (0, 1)")
+        if self.engage_after < 1:
+            raise ValueError("engage_after must be >= 1")
+        if self.release_after < 1:
+            raise ValueError("release_after must be >= 1")
+        if self.stale_after < 1:
+            raise ValueError("stale_after must be >= 1")
+
+    @property
+    def injection_limit(self) -> float:
+        """Injection limit applied to an engaged node."""
+        return 0.0 if self.action == "quarantine" else self.throttle_factor
+
+    @property
+    def name(self) -> str:
+        """Short display name for tables and timelines."""
+        if self.action == "quarantine":
+            return "quarantine"
+        return f"throttle@{self.throttle_factor:g}"
+
+    # -- common configurations ---------------------------------------------
+    @classmethod
+    def throttle(cls, factor: float = 0.1, **overrides) -> "MitigationPolicy":
+        """A rate-limiting policy keeping ``factor`` of the bandwidth."""
+        return cls(action="throttle", throttle_factor=factor, **overrides)
+
+    @classmethod
+    def quarantine(cls, **overrides) -> "MitigationPolicy":
+        """A full-isolation policy (injection limit 0)."""
+        return cls(action="quarantine", **overrides)

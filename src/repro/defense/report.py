@@ -1,0 +1,278 @@
+"""Defense timeline: per-window records, events and recovery metrics.
+
+The :class:`DefenseReport` is the measurement product of a closed-loop run.
+It records one :class:`WindowRecord` per sampling window (what the pipeline
+decided, what was restricted, and the benign latency observed in that window)
+plus discrete :class:`DefenseEvent` transitions (first detection, engagement,
+rollback, release), and derives the headline metrics of a runtime defense:
+detection latency, time-to-mitigation, benign latency before/during/after
+engagement, and collateral damage to throttled-but-innocent nodes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.defense.policy import MitigationPolicy
+
+__all__ = ["DefenseEvent", "WindowRecord", "DefenseReport"]
+
+#: Window phases, in the order a successful defended run traverses them.
+PHASES = ("benign", "attack", "mitigated")
+
+
+@dataclass(frozen=True)
+class DefenseEvent:
+    """A discrete state transition of the defense loop."""
+
+    cycle: int
+    kind: str  # "detected" | "engaged" | "rolled_back" | "released"
+    nodes: tuple[int, ...] = ()
+    detail: str = ""
+
+    def describe(self) -> str:
+        text = f"cycle {self.cycle:>7d}: {self.kind}"
+        if self.nodes:
+            text += f" nodes={list(self.nodes)}"
+        if self.detail:
+            text += f" ({self.detail})"
+        return text
+
+
+@dataclass(frozen=True)
+class WindowRecord:
+    """Everything the guard observed and did in one sampling window."""
+
+    index: int
+    cycle: int
+    detected: bool
+    probability: float
+    phase: str  # one of PHASES, judged at the start of the window
+    victims: tuple[int, ...] = ()
+    attackers: tuple[int, ...] = ()
+    restricted: tuple[int, ...] = ()
+    benign_latency: float = math.nan
+    benign_delivered: int = 0
+    malicious_delivered: int = 0
+
+
+@dataclass
+class DefenseReport:
+    """Timeline and aggregate metrics of one closed-loop defended run."""
+
+    policy: MitigationPolicy
+    sample_period: int = 0
+    attack_start: int | None = None
+    attack_end: int | None = None
+    true_attackers: tuple[int, ...] = ()
+    windows: list[WindowRecord] = field(default_factory=list)
+    events: list[DefenseEvent] = field(default_factory=list)
+
+    # -- event accessors ----------------------------------------------------
+    def _first_event_cycle(self, kind: str) -> int | None:
+        for event in self.events:
+            if event.kind == kind:
+                return event.cycle
+        return None
+
+    @property
+    def first_detection_cycle(self) -> int | None:
+        """Cycle of the first window the detector flagged."""
+        return self._first_event_cycle("detected")
+
+    @property
+    def engagement_cycle(self) -> int | None:
+        """Cycle at which the first countermeasure engaged."""
+        return self._first_event_cycle("engaged")
+
+    @property
+    def release_cycle(self) -> int | None:
+        """Cycle of the final full rollback (None while still engaged).
+
+        A re-engagement after a release invalidates the earlier release, so
+        the scan stops at whichever of the two happened last.
+        """
+        for event in reversed(self.events):
+            if event.kind == "engaged":
+                return None
+            if event.kind == "released":
+                return event.cycle
+        return None
+
+    # -- headline latencies --------------------------------------------------
+    @property
+    def detection_latency(self) -> int | None:
+        """Cycles from attack start to the first detection of *the attack*.
+
+        Needs ``attack_start``.  Judged on per-window records rather than
+        transition events: detections before the attack began are false
+        positives and do not count, but a detection streak that started as a
+        false positive and runs into the real attack still counts from its
+        first window at or after ``attack_start``.
+        """
+        if self.attack_start is None:
+            return None
+        for window in self.windows:
+            if window.detected and window.cycle >= self.attack_start:
+                return window.cycle - self.attack_start
+        return None
+
+    @property
+    def time_to_mitigation(self) -> int | None:
+        """Cycles from attack start until a countermeasure is active.
+
+        Needs ``attack_start``; judged on the first window at or after the
+        attack began in which any node was restricted — including
+        restrictions carried over from a pre-attack false positive that
+        happen to already fence the attacker.
+        """
+        if self.attack_start is None:
+            return None
+        for window in self.windows:
+            if window.restricted and window.cycle >= self.attack_start:
+                return window.cycle - self.attack_start
+        return None
+
+    # -- node sets -----------------------------------------------------------
+    @property
+    def engaged_nodes(self) -> set[int]:
+        """Every node a countermeasure was ever applied to."""
+        nodes: set[int] = set()
+        for event in self.events:
+            if event.kind == "engaged":
+                nodes.update(event.nodes)
+        return nodes
+
+    @property
+    def collateral_nodes(self) -> set[int]:
+        """Engaged nodes that are not true attackers (needs true_attackers)."""
+        return self.engaged_nodes - set(self.true_attackers)
+
+    @property
+    def collateral_node_windows(self) -> int:
+        """Total (innocent node x restricted window) count — damage exposure."""
+        truth = set(self.true_attackers)
+        return sum(
+            sum(1 for node in window.restricted if node not in truth)
+            for window in self.windows
+        )
+
+    # -- latency aggregation ---------------------------------------------------
+    def phase_windows(self, phase: str) -> list[WindowRecord]:
+        """All windows of one phase (``benign`` / ``attack`` / ``mitigated``)."""
+        if phase not in PHASES:
+            raise ValueError(f"phase must be one of {PHASES}")
+        return [window for window in self.windows if window.phase == phase]
+
+    @staticmethod
+    def _weighted_latency(windows: list[WindowRecord]) -> float:
+        """Delivery-weighted mean benign latency over ``windows``."""
+        total = 0.0
+        count = 0
+        for window in windows:
+            if window.benign_delivered and not math.isnan(window.benign_latency):
+                total += window.benign_latency * window.benign_delivered
+                count += window.benign_delivered
+        return total / count if count else math.nan
+
+    def phase_latency(self, phase: str, skip: int = 0) -> float:
+        """Delivery-weighted mean benign packet latency over a phase.
+
+        ``skip`` drops the first windows of the phase — used for the
+        post-mitigation metric, where the first window after engagement still
+        drains packets queued during the attack.
+        """
+        return self._weighted_latency(self.phase_windows(phase)[skip:])
+
+    def pre_attack_latency(self) -> float:
+        """Benign latency before any attack activity.
+
+        Only benign-phase windows *before* the first detection count; clean
+        windows after a release can still be draining attack backlog and
+        would bias the baseline.  When the ground-truth ``attack_start`` is
+        known it bounds the cut-off too, so attack windows the detector
+        missed cannot inflate the "before the attack" figure.
+        """
+        cutoffs = [
+            cycle
+            for cycle in (self.first_detection_cycle, self.attack_start)
+            if cycle is not None
+        ]
+        cutoff = min(cutoffs) if cutoffs else None
+        return self._weighted_latency(
+            [
+                window
+                for window in self.phase_windows("benign")
+                if cutoff is None or window.cycle < cutoff
+            ]
+        )
+
+    def attack_latency(self) -> float:
+        """Benign latency while the attack ran unmitigated."""
+        return self.phase_latency("attack")
+
+    def post_mitigation_latency(self, skip: int = 1) -> float:
+        """Benign latency once the countermeasure is engaged and settled.
+
+        When the ground-truth ``attack_end`` is known, only mitigated
+        windows *during* the attack count — windows where the guard is still
+        engaged after the attacker stopped would otherwise pad the metric
+        with naturally attack-free traffic.
+        """
+        windows = self.phase_windows("mitigated")[skip:]
+        if self.attack_end is not None:
+            windows = [w for w in windows if w.cycle <= self.attack_end]
+        return self._weighted_latency(windows)
+
+    def recovery_ratio(self, baseline_latency: float, skip: int = 1) -> float:
+        """Post-mitigation benign latency relative to a no-attack baseline."""
+        post = self.post_mitigation_latency(skip=skip)
+        if math.isnan(post) or baseline_latency <= 0.0:
+            return math.nan
+        return post / baseline_latency
+
+    # -- rendering ------------------------------------------------------------
+    def summary(self) -> dict:
+        """Headline metrics as a plain dict (for tables and logs)."""
+        return {
+            "policy": self.policy.name,
+            "windows": len(self.windows),
+            "sample_period": self.sample_period,
+            "first_detection_cycle": self.first_detection_cycle,
+            "engagement_cycle": self.engagement_cycle,
+            "release_cycle": self.release_cycle,
+            "detection_latency": self.detection_latency,
+            "time_to_mitigation": self.time_to_mitigation,
+            "pre_attack_latency": self.pre_attack_latency(),
+            "attack_latency": self.attack_latency(),
+            "post_mitigation_latency": self.post_mitigation_latency(),
+            "engaged_nodes": sorted(self.engaged_nodes),
+            "collateral_nodes": sorted(self.collateral_nodes),
+            "collateral_node_windows": self.collateral_node_windows,
+        }
+
+    def format_timeline(self) -> str:
+        """Human-readable per-window timeline followed by the event log."""
+        header = (
+            f"{'win':>3}  {'cycle':>7}  {'phase':<9}  {'det':>3}  {'prob':>5}  "
+            f"{'benign lat':>10}  {'restricted':<18}  attackers"
+        )
+        lines = [header, "-" * len(header)]
+        for window in self.windows:
+            latency = (
+                f"{window.benign_latency:10.1f}"
+                if not math.isnan(window.benign_latency)
+                else f"{'-':>10}"
+            )
+            lines.append(
+                f"{window.index:>3}  {window.cycle:>7}  {window.phase:<9}  "
+                f"{'yes' if window.detected else 'no':>3}  "
+                f"{window.probability:5.2f}  {latency}  "
+                f"{str(list(window.restricted)):<18}  {list(window.attackers)}"
+            )
+        if self.events:
+            lines.append("")
+            lines.append("events:")
+            lines.extend(f"  {event.describe()}" for event in self.events)
+        return "\n".join(lines)

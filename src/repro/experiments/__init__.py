@@ -9,6 +9,7 @@ Every table and figure of the evaluation section has a driver here; the
 * Figure 4 — :mod:`repro.experiments.localization_examples`
 * Figure 5 — :mod:`repro.experiments.overhead_sweep`
 * Table 4 — :mod:`repro.experiments.comparison`
+* Closed-loop mitigation (beyond the paper) — :mod:`repro.experiments.mitigation`
 """
 
 from repro.experiments.config import ExperimentConfig
@@ -18,6 +19,12 @@ from repro.experiments.detection import (
     run_feature_experiment,
 )
 from repro.experiments.latency_sweep import LatencyPoint, run_latency_sweep
+from repro.experiments.mitigation import (
+    MitigationPoint,
+    run_defended_episode,
+    run_mitigation_sweep,
+    train_defense_pipeline,
+)
 from repro.experiments.localization_examples import (
     LocalizationExample,
     run_localization_examples,
@@ -33,11 +40,15 @@ __all__ = [
     "FeatureExperimentResult",
     "LatencyPoint",
     "LocalizationExample",
+    "MitigationPoint",
     "format_feature_table",
     "format_rows",
     "run_comparison",
+    "run_defended_episode",
     "run_feature_experiment",
     "run_latency_sweep",
     "run_localization_examples",
+    "run_mitigation_sweep",
     "run_overhead_sweep",
+    "train_defense_pipeline",
 ]

@@ -1,0 +1,320 @@
+"""Closed-loop mitigation experiment: FIR x mesh size x policy sweep.
+
+This driver measures what the paper's fence enables but never evaluates:
+with the online :class:`~repro.defense.DL2FenceGuard` attached to a live
+simulation, how fast is a refined flooding attack detected and mitigated,
+and how completely does benign-traffic latency recover?  For every
+(FIR, mesh, policy) operating point it reports detection latency,
+time-to-mitigation, benign latency in the three phases of the defended run,
+the recovery ratio against a no-attack baseline, and collateral damage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.config import DL2FenceConfig
+from repro.core.pipeline import DL2Fence
+from repro.defense.guard import DL2FenceGuard
+from repro.defense.policy import MitigationPolicy
+from repro.defense.report import DefenseReport
+from repro.experiments.config import ExperimentConfig
+from repro.monitor.dataset import DatasetBuilder
+from repro.monitor.sampler import MonitorConfig
+from repro.noc.simulator import NoCSimulator
+from repro.noc.stats import LatencyStats
+from repro.traffic.flooding import FloodingAttacker, FloodingConfig
+from repro.traffic.scenario import AttackScenario
+
+__all__ = [
+    "MitigationPoint",
+    "baseline_benign_latency",
+    "train_defense_pipeline",
+    "run_defended_episode",
+    "run_mitigation_sweep",
+    "unmitigated_attack_latency",
+]
+
+#: Policies compared by default: gentle rate limiting versus full isolation.
+DEFAULT_POLICIES = (
+    MitigationPolicy.throttle(0.1, engage_after=2, release_after=6, flush_queue=True),
+    MitigationPolicy.quarantine(engage_after=2, release_after=6, flush_queue=True),
+)
+
+
+@dataclass
+class MitigationPoint:
+    """Outcome of one defended episode at one operating point."""
+
+    fir: float
+    rows: int
+    policy: str
+    detected: bool
+    detection_latency: int | None
+    time_to_mitigation: int | None
+    baseline_latency: float
+    attack_latency: float
+    unmitigated_latency: float
+    mitigated_latency: float
+    recovery_ratio: float
+    engaged_nodes: tuple[int, ...]
+    collateral_nodes: tuple[int, ...]
+    collateral_node_windows: int
+
+    def as_dict(self) -> dict:
+        return {
+            "fir": self.fir,
+            "rows": self.rows,
+            "policy": self.policy,
+            "detected": self.detected,
+            "detection_latency": self.detection_latency,
+            "time_to_mitigation": self.time_to_mitigation,
+            "baseline_latency": self.baseline_latency,
+            "attack_latency": self.attack_latency,
+            "unmitigated_latency": self.unmitigated_latency,
+            "mitigated_latency": self.mitigated_latency,
+            "recovery_ratio": self.recovery_ratio,
+            "engaged": len(self.engaged_nodes),
+            "collateral": len(self.collateral_nodes),
+            "collateral_node_windows": self.collateral_node_windows,
+        }
+
+
+def train_defense_pipeline(
+    config: ExperimentConfig,
+    benchmarks: tuple[str, ...] = ("uniform_random", "tornado"),
+) -> tuple[DL2Fence, DatasetBuilder]:
+    """Train a DL2Fence pipeline at this experiment scale (once per mesh)."""
+    builder = DatasetBuilder(config.dataset_config())
+    runs = builder.build_runs(
+        benchmarks=list(benchmarks),
+        scenarios_per_benchmark=config.scenarios_per_benchmark,
+        seed=config.seed,
+    )
+    fence = DL2Fence(builder.topology, DL2FenceConfig(seed=config.seed))
+    fence.fit_from_runs(
+        builder,
+        runs,
+        detector_epochs=config.detector_epochs,
+        localizer_epochs=config.localizer_epochs,
+    )
+    return fence, builder
+
+
+def _default_scenario(builder: DatasetBuilder, fir: float) -> AttackScenario:
+    """A long diagonal flow: far-corner attacker, victim near the origin."""
+    topology = builder.topology
+    return AttackScenario(
+        attackers=(topology.node_id(topology.columns - 2, topology.rows - 2),),
+        victim=topology.node_id(1, 1),
+        fir=fir,
+    )
+
+
+@dataclass(frozen=True)
+class _EpisodeShape:
+    """Cycle arithmetic shared by every run of the same attack episode."""
+
+    total_cycles: int
+    attack_start: int
+    attack_end: int
+
+    @classmethod
+    def from_windows(
+        cls, builder: DatasetBuilder, pre: int, attack: int, post: int
+    ) -> "_EpisodeShape":
+        period = builder.config.sample_period
+        warmup = builder.config.warmup_cycles
+        return cls(
+            total_cycles=warmup + (pre + attack + post) * period + 1,
+            attack_start=warmup + pre * period,
+            attack_end=warmup + (pre + attack) * period,
+        )
+
+
+def _attacked_simulator(
+    builder: DatasetBuilder,
+    benchmark: str,
+    scenario: AttackScenario,
+    fir: float,
+    shape: _EpisodeShape,
+    seed: int,
+) -> NoCSimulator:
+    """The defended run's system under attack (identical for all comparators)."""
+    config = builder.config
+    simulator = NoCSimulator(config.simulation_config())
+    simulator.add_source(builder.make_workload(benchmark, seed=seed))
+    simulator.add_source(
+        FloodingAttacker(
+            FloodingConfig(
+                attackers=scenario.attackers,
+                victim=scenario.victim,
+                fir=fir,
+                packet_size_flits=config.packet_size_flits,
+                start_cycle=shape.attack_start,
+                end_cycle=shape.attack_end,
+            ),
+            builder.topology,
+            seed=seed + 1,
+        )
+    )
+    return simulator
+
+
+def baseline_benign_latency(
+    builder: DatasetBuilder,
+    benchmark: str = "uniform_random",
+    pre_attack_windows: int = 4,
+    attack_windows: int = 10,
+    post_attack_windows: int = 4,
+    seed: int = 42,
+) -> float:
+    """No-attack benign latency over the episode's measurement horizon.
+
+    Independent of FIR and policy — compute it once per mesh/benchmark when
+    sweeping.
+    """
+    shape = _EpisodeShape.from_windows(
+        builder, pre_attack_windows, attack_windows, post_attack_windows
+    )
+    simulator = NoCSimulator(builder.config.simulation_config())
+    simulator.add_source(builder.make_workload(benchmark, seed=seed))
+    simulator.run(shape.total_cycles)
+    return simulator.latency(benign_only=True).packet_latency
+
+
+def run_defended_episode(
+    fence: DL2Fence,
+    builder: DatasetBuilder,
+    policy: MitigationPolicy,
+    fir: float,
+    benchmark: str = "uniform_random",
+    scenario: AttackScenario | None = None,
+    pre_attack_windows: int = 4,
+    attack_windows: int = 10,
+    post_attack_windows: int = 4,
+    seed: int = 42,
+    baseline_latency: float | None = None,
+) -> tuple[DefenseReport, float]:
+    """Run one attack episode under guard; returns (report, baseline latency).
+
+    The baseline is the same workload and measurement horizon with neither
+    attacker nor guard — the no-attack benign latency the defended system is
+    trying to get back to.  Pass ``baseline_latency`` to reuse a previously
+    measured value instead of re-simulating it.
+    """
+    shape = _EpisodeShape.from_windows(
+        builder, pre_attack_windows, attack_windows, post_attack_windows
+    )
+    if scenario is None:
+        scenario = _default_scenario(builder, fir)
+    else:
+        scenario = replace(scenario, fir=fir)
+    if baseline_latency is None:
+        baseline_latency = baseline_benign_latency(
+            builder,
+            benchmark,
+            pre_attack_windows,
+            attack_windows,
+            post_attack_windows,
+            seed,
+        )
+
+    simulator = _attacked_simulator(builder, benchmark, scenario, fir, shape, seed)
+    guard = DL2FenceGuard(
+        fence,
+        policy,
+        attack_start=shape.attack_start,
+        attack_end=shape.attack_end,
+        true_attackers=scenario.attackers,
+    )
+    guard.attach(
+        simulator,
+        monitor_config=MonitorConfig(sample_period=builder.config.sample_period),
+    )
+    simulator.run(shape.total_cycles)
+    return guard.report, baseline_latency
+
+
+def unmitigated_attack_latency(
+    builder: DatasetBuilder,
+    fir: float,
+    benchmark: str = "uniform_random",
+    scenario: AttackScenario | None = None,
+    pre_attack_windows: int = 4,
+    attack_windows: int = 10,
+    post_attack_windows: int = 4,
+    seed: int = 42,
+) -> float:
+    """Benign latency of the same attack episode with no defense at all.
+
+    Measured over benign packets delivered while the attack runs (skipping
+    the first window so the congestion has built up) — the do-nothing
+    comparator for the mitigated latency.
+    """
+    shape = _EpisodeShape.from_windows(
+        builder, pre_attack_windows, attack_windows, post_attack_windows
+    )
+    if scenario is None:
+        scenario = _default_scenario(builder, fir)
+    simulator = _attacked_simulator(builder, benchmark, scenario, fir, shape, seed)
+    simulator.run(shape.total_cycles)
+    period = builder.config.sample_period
+    span = [
+        packet
+        for packet in simulator.stats.delivered
+        if not packet.is_malicious
+        and shape.attack_start + period <= packet.ejected_cycle <= shape.attack_end
+    ]
+    if not span:
+        return float("nan")
+    return LatencyStats.from_packets(span).packet_latency
+
+
+def run_mitigation_sweep(
+    firs: tuple[float, ...] = (0.4, 0.8),
+    rows_values: tuple[int, ...] = (8,),
+    policies: tuple[MitigationPolicy, ...] = DEFAULT_POLICIES,
+    config: ExperimentConfig | None = None,
+    benchmark: str = "uniform_random",
+) -> list[MitigationPoint]:
+    """Sweep FIR x mesh size x mitigation policy with one trained pipeline per mesh."""
+    base_config = config or ExperimentConfig()
+    points: list[MitigationPoint] = []
+    for rows in rows_values:
+        experiment = base_config.scaled(rows=rows)
+        fence, builder = train_defense_pipeline(experiment)
+        mesh_baseline = baseline_benign_latency(builder, benchmark=benchmark)
+        for fir in firs:
+            unmitigated = unmitigated_attack_latency(builder, fir, benchmark=benchmark)
+            for policy in policies:
+                report, baseline = run_defended_episode(
+                    fence,
+                    builder,
+                    policy,
+                    fir=fir,
+                    benchmark=benchmark,
+                    baseline_latency=mesh_baseline,
+                )
+                points.append(
+                    MitigationPoint(
+                        fir=fir,
+                        rows=rows,
+                        policy=policy.name,
+                        # detection of *the attack*: pre-attack false
+                        # positives do not count (detection_latency bounds
+                        # the first detection at attack_start)
+                        detected=report.detection_latency is not None,
+                        detection_latency=report.detection_latency,
+                        time_to_mitigation=report.time_to_mitigation,
+                        baseline_latency=baseline,
+                        attack_latency=report.attack_latency(),
+                        unmitigated_latency=unmitigated,
+                        mitigated_latency=report.post_mitigation_latency(),
+                        recovery_ratio=report.recovery_ratio(baseline),
+                        engaged_nodes=tuple(sorted(report.engaged_nodes)),
+                        collateral_nodes=tuple(sorted(report.collateral_nodes)),
+                        collateral_node_windows=report.collateral_node_windows,
+                    )
+                )
+    return points

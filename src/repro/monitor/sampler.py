@@ -12,6 +12,7 @@ starts fresh.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.monitor.features import FeatureKind, extract_feature_frame
 from repro.monitor.frames import DirectionalFrame, FrameSample, FrameSet
@@ -41,6 +42,7 @@ class GlobalPerformanceMonitor:
         self.config = config or MonitorConfig()
         self.samples: list[FrameSample] = []
         self._attackers: list[FloodingAttacker] = []
+        self._listeners: list[Callable[[FrameSample, NoCSimulator], None]] = []
 
     # -- wiring ------------------------------------------------------------
     def attach(self, simulator: NoCSimulator) -> "GlobalPerformanceMonitor":
@@ -54,6 +56,18 @@ class GlobalPerformanceMonitor:
     def watch_attacker(self, attacker: FloodingAttacker) -> None:
         """Track an attacker for ground-truth 'attack active' flags."""
         self._attackers.append(attacker)
+
+    def add_listener(
+        self, callback: Callable[[FrameSample, NoCSimulator], None]
+    ) -> None:
+        """Stream every new sample to ``callback(sample, simulator)``.
+
+        This is the hand-off point for online consumers: a runtime defense
+        (:class:`repro.defense.DL2FenceGuard`) subscribes here so each
+        sampling window is pushed through detection and mitigation as soon as
+        it is captured, instead of being post-processed from ``samples``.
+        """
+        self._listeners.append(callback)
 
     # -- sampling ------------------------------------------------------------
     def sample(self, simulator: NoCSimulator) -> FrameSample:
@@ -87,6 +101,8 @@ class GlobalPerformanceMonitor:
         self.samples.append(sample)
         if self.config.reset_boc_after_sample:
             network.reset_boc_counters()
+        for listener in self._listeners:
+            listener(sample, simulator)
         return sample
 
     # -- results ---------------------------------------------------------------

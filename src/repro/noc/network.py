@@ -51,6 +51,12 @@ class MeshNetwork:
             for node in topology.nodes()
         ]
         self.source_queues: list[deque[Flit]] = [deque() for _ in topology.nodes()]
+        # Per-node injection limit in [0, 1]: the fraction of the injection
+        # bandwidth a node may use.  1.0 is unrestricted, 0.0 quarantines the
+        # node entirely.  This is the rate-limit hook a runtime defense
+        # (:mod:`repro.defense`) pulls to fence off localized attackers.
+        self.injection_limits: list[float] = [1.0] * topology.num_nodes
+        self._injection_allowance: list[float] = [0.0] * topology.num_nodes
         self.stats = NetworkStats()
         self.dropped_packets = 0
 
@@ -75,6 +81,65 @@ class MeshNetwork:
         """Router attached to ``node_id``."""
         return self.routers[node_id]
 
+    # -- injection rate limiting (defense hook) -----------------------------
+    def set_injection_limit(self, node_id: int, fraction: float) -> None:
+        """Restrict ``node_id`` to ``fraction`` of the injection bandwidth.
+
+        ``fraction=1.0`` restores normal service, ``fraction=0.0`` blocks the
+        node's network interface completely (quarantine).  Fractional limits
+        are enforced with a credit accumulator so e.g. ``0.25`` injects one
+        flit every four cycles on a unit-bandwidth interface.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("injection limit must be in [0, 1]")
+        if node_id not in self.topology:
+            raise ValueError(f"node {node_id} outside the {self.topology!r} mesh")
+        self.injection_limits[node_id] = float(fraction)
+        # Changing the limit restarts the credit accumulator: credit accrued
+        # under an older, looser limit must not leak through a quarantine.
+        self._injection_allowance[node_id] = 0.0
+
+    def injection_limit(self, node_id: int) -> float:
+        """Current injection limit of ``node_id`` (1.0 = unrestricted)."""
+        return self.injection_limits[node_id]
+
+    def flush_source_queue(self, node_id: int) -> int:
+        """Discard flits queued at ``node_id``'s network interface.
+
+        Used when quarantining a localized attacker so its accumulated flood
+        backlog cannot pour out once the restriction is lifted.  Flits of a
+        packet whose head already entered the network are kept — dropping
+        them would strand a headless worm inside the routers.  Returns the
+        number of flits discarded; fully dropped packets count as drops.
+        """
+        queue = self.source_queues[node_id]
+        kept = [flit for flit in queue if flit.packet.injected_cycle is not None]
+        dropped_flits = len(queue) - len(kept)
+        dropped_packets = {
+            flit.packet.packet_id
+            for flit in queue
+            if flit.packet.injected_cycle is None
+        }
+        self.dropped_packets += len(dropped_packets)
+        queue.clear()
+        queue.extend(kept)
+        return dropped_flits
+
+    def reset_injection_limits(self) -> None:
+        """Lift every injection restriction (full rollback)."""
+        for node in range(self.topology.num_nodes):
+            self.injection_limits[node] = 1.0
+            self._injection_allowance[node] = 0.0
+
+    @property
+    def restricted_nodes(self) -> list[int]:
+        """Nodes currently running under an injection limit below 1.0."""
+        return [
+            node
+            for node, limit in enumerate(self.injection_limits)
+            if limit < 1.0
+        ]
+
     # -- cycle advance ---------------------------------------------------------
     def step(self, cycle: int) -> None:
         """Advance the network by one cycle."""
@@ -88,6 +153,15 @@ class MeshNetwork:
     # -- phase 1: injection -----------------------------------------------------
     def _inject(self, cycle: int) -> None:
         for node, queue in enumerate(self.source_queues):
+            limit = self.injection_limits[node]
+            throttled = limit < 1.0
+            if throttled:
+                # Accrue fractional bandwidth credit; cap the burst at one
+                # cycle's worth so a long-idle node cannot flush a backlog.
+                self._injection_allowance[node] = min(
+                    self._injection_allowance[node] + limit * self.injection_bandwidth,
+                    float(self.injection_bandwidth),
+                )
             if not queue:
                 continue
             port = self.routers[node].input_ports[Direction.LOCAL]
@@ -95,12 +169,26 @@ class MeshNetwork:
                 if not queue:
                     break
                 flit = queue[0]
+                starts_new_packet = flit.is_head and flit.packet.injected_cycle is None
+                # The policy limit gates *new* packets only.  Continuation
+                # flits of a packet whose head already entered the network
+                # always pass (driving the allowance negative, which delays
+                # the next head) — a throttle must never strand a partial
+                # worm holding VCs inside the routers.
+                if (
+                    throttled
+                    and starts_new_packet
+                    and self._injection_allowance[node] < 1.0
+                ):
+                    break
                 vc = port.free_vc_for(flit)
                 if vc is None:
                     break
                 queue.popleft()
                 port.write_flit(flit, vc)
-                if flit.is_head and flit.packet.injected_cycle is None:
+                if throttled:
+                    self._injection_allowance[node] -= 1.0
+                if starts_new_packet:
                     flit.packet.injected_cycle = cycle
                     self.stats.record_injected(flit.packet)
 
@@ -199,6 +287,27 @@ class MeshNetwork:
     def queued_flits(self) -> int:
         """Flits still waiting in source injection queues."""
         return sum(len(queue) for queue in self.source_queues)
+
+    @property
+    def drainable_queued_flits(self) -> int:
+        """Queued flits that can still legally enter the network.
+
+        Excludes new packets queued at quarantined nodes (injection limit
+        0): that backlog is fenced off by policy and will never inject, so
+        waiting on it — e.g. in :meth:`NoCSimulator.drain` — would never
+        terminate.  Continuation flits of a partially injected packet *do*
+        count even under quarantine, mirroring the injection gate that
+        always lets them through.
+        """
+        total = 0
+        for node, queue in enumerate(self.source_queues):
+            if self.injection_limits[node] > 0.0:
+                total += len(queue)
+            else:
+                total += sum(
+                    1 for flit in queue if flit.packet.injected_cycle is not None
+                )
+        return total
 
     def reset_boc_counters(self) -> None:
         """Reset every router's BOC accumulators (one sampling window ends)."""

@@ -90,6 +90,29 @@ class NoCSimulator:
             raise ValueError("observer period must be positive")
         self._observers.append((period, callback))
 
+    # -- runtime defense hooks ------------------------------------------------
+    def throttle_node(self, node_id: int, fraction: float) -> None:
+        """Rate-limit ``node_id`` to ``fraction`` of the injection bandwidth.
+
+        This is the countermeasure surface a runtime defense such as
+        :class:`repro.defense.DL2FenceGuard` uses once attackers are
+        localized; ``fraction=0.0`` quarantines the node entirely.
+        """
+        self.network.set_injection_limit(node_id, fraction)
+
+    def quarantine_node(self, node_id: int) -> None:
+        """Block all injection from ``node_id`` (limit 0.0)."""
+        self.network.set_injection_limit(node_id, 0.0)
+
+    def release_node(self, node_id: int) -> None:
+        """Lift any injection restriction on ``node_id``."""
+        self.network.set_injection_limit(node_id, 1.0)
+
+    @property
+    def restricted_nodes(self) -> list[int]:
+        """Nodes currently throttled or quarantined."""
+        return self.network.restricted_nodes
+
     # -- execution ------------------------------------------------------------
     def step(self) -> None:
         """Advance the simulation by a single cycle."""
@@ -115,14 +138,17 @@ class NoCSimulator:
         """Run with no new injection until all in-flight traffic is delivered.
 
         Returns the number of extra cycles simulated.  Traffic sources are
-        detached during the drain so the network empties.
+        detached during the drain so the network empties.  Backlog stuck
+        behind a quarantined interface is ignored — by policy it can never
+        inject, so waiting on it would always hit ``max_cycles``.
         """
         saved_sources = self.sources
         self.sources = []
         extra = 0
         try:
             while (
-                self.network.in_flight_flits > 0 or self.network.queued_flits > 0
+                self.network.in_flight_flits > 0
+                or self.network.drainable_queued_flits > 0
             ) and extra < max_cycles:
                 self.step()
                 extra += 1

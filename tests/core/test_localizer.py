@@ -68,6 +68,26 @@ class TestLocalizerTraining:
         dice = trained_pipeline.localizer.dice(small_localization_dataset)
         assert 0.0 <= dice <= 1.0
 
+    def test_batched_segmentation_matches_per_direction(
+        self, trained_pipeline, small_runs
+    ):
+        """The online fast path must produce the exact per-direction masks."""
+        attack_run = next(run for run in small_runs if run.is_attack)
+        sample = attack_run.samples[-1]
+        frames = {
+            direction: sample.boc[direction].normalized("max").values
+            for direction in Direction.cardinal()
+        }
+        batched = trained_pipeline.localizer.segment_frames(frames)
+        for direction in Direction.cardinal():
+            single = trained_pipeline.localizer.segment_frame(
+                frames[direction], direction
+            )
+            assert np.allclose(batched[direction], single)
+
+    def test_batched_segmentation_empty_input(self, trained_pipeline):
+        assert trained_pipeline.localizer.segment_frames({}) == {}
+
 
 class TestLocalizerPersistence:
     def test_save_and_load_round_trip(self, tmp_path, small_localization_dataset):

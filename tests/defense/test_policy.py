@@ -1,0 +1,51 @@
+"""Unit tests for mitigation policy configuration."""
+
+import pytest
+
+from repro.defense.policy import MitigationPolicy
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        policy = MitigationPolicy()
+        assert policy.action == "throttle"
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            MitigationPolicy(action="drop_tables")
+
+    @pytest.mark.parametrize("factor", [0.0, 1.0, -0.5, 1.5])
+    def test_throttle_factor_must_be_fractional(self, factor):
+        with pytest.raises(ValueError):
+            MitigationPolicy(throttle_factor=factor)
+
+    @pytest.mark.parametrize(
+        "field", ["engage_after", "release_after", "stale_after"]
+    )
+    def test_hysteresis_counts_positive(self, field):
+        with pytest.raises(ValueError):
+            MitigationPolicy(**{field: 0})
+
+
+class TestInjectionLimit:
+    def test_throttle_limit_is_factor(self):
+        assert MitigationPolicy.throttle(0.25).injection_limit == 0.25
+
+    def test_quarantine_limit_is_zero(self):
+        assert MitigationPolicy.quarantine().injection_limit == 0.0
+        # throttle_factor is irrelevant for quarantine
+        assert MitigationPolicy(action="quarantine", throttle_factor=0.5).injection_limit == 0.0
+
+
+class TestNames:
+    def test_throttle_name_includes_factor(self):
+        assert MitigationPolicy.throttle(0.1).name == "throttle@0.1"
+
+    def test_quarantine_name(self):
+        assert MitigationPolicy.quarantine().name == "quarantine"
+
+    def test_constructors_forward_overrides(self):
+        policy = MitigationPolicy.throttle(0.2, engage_after=5, flush_queue=True)
+        assert policy.engage_after == 5
+        assert policy.flush_queue
+        assert MitigationPolicy.quarantine(release_after=7).release_after == 7

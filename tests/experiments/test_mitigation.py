@@ -1,0 +1,70 @@
+"""Tests for the closed-loop mitigation experiment driver (quick scale)."""
+
+import math
+
+from repro.defense.policy import MitigationPolicy
+from repro.defense.report import PHASES
+from repro.experiments import ExperimentConfig, format_rows
+from repro.experiments.mitigation import (
+    run_defended_episode,
+    run_mitigation_sweep,
+    unmitigated_attack_latency,
+)
+
+QUICK = ExperimentConfig.quick()
+
+
+class TestDefendedEpisode:
+    def test_report_and_baseline(self, trained_pipeline, small_builder):
+        report, baseline = run_defended_episode(
+            trained_pipeline,
+            small_builder,
+            MitigationPolicy.throttle(0.1),
+            fir=0.8,
+            pre_attack_windows=2,
+            attack_windows=4,
+            post_attack_windows=2,
+        )
+        assert baseline > 0.0
+        assert len(report.windows) == 8
+        assert all(window.phase in PHASES for window in report.windows)
+        assert report.attack_start == (
+            small_builder.config.warmup_cycles
+            + 2 * small_builder.config.sample_period
+        )
+        # windows strictly before the attack can never be under mitigation
+        for window in report.windows:
+            if window.cycle < report.attack_start:
+                assert window.phase in ("benign", "attack")
+                assert window.restricted == ()
+
+    def test_unmitigated_comparator(self, small_builder):
+        latency = unmitigated_attack_latency(
+            small_builder,
+            fir=0.8,
+            pre_attack_windows=2,
+            attack_windows=4,
+            post_attack_windows=2,
+        )
+        assert not math.isnan(latency)
+        assert latency > 0.0
+
+
+class TestMitigationSweep:
+    def test_sweep_structure(self):
+        points = run_mitigation_sweep(
+            firs=(0.8,),
+            rows_values=(QUICK.rows,),
+            policies=(MitigationPolicy.quarantine(engage_after=1),),
+            config=QUICK,
+        )
+        assert len(points) == 1
+        point = points[0]
+        assert point.fir == 0.8
+        assert point.rows == QUICK.rows
+        assert point.policy == "quarantine"
+        assert point.baseline_latency > 0.0
+        assert point.unmitigated_latency > 0.0
+        row = point.as_dict()
+        assert {"fir", "policy", "recovery_ratio", "collateral"} <= set(row)
+        assert "recovery_ratio" in format_rows([row])

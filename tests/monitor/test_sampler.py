@@ -29,6 +29,28 @@ class TestMonitorConfig:
             MonitorConfig(sample_period=0)
 
 
+class TestStreaming:
+    def test_listeners_receive_each_sample_live(self):
+        sim = make_simulator()
+        monitor = GlobalPerformanceMonitor(MonitorConfig(sample_period=50)).attach(sim)
+        received = []
+        monitor.add_listener(
+            lambda sample, simulator: received.append((sample.cycle, simulator))
+        )
+        sim.run(16 + 50 * 3 + 1)
+        assert [cycle for cycle, _ in received] == [s.cycle for s in monitor.samples]
+        assert all(simulator is sim for _, simulator in received)
+
+    def test_listener_sees_sample_after_it_is_recorded(self):
+        """A listener can correlate the new sample with the monitor history."""
+        sim = make_simulator()
+        monitor = GlobalPerformanceMonitor(MonitorConfig(sample_period=50)).attach(sim)
+        counts = []
+        monitor.add_listener(lambda sample, _: counts.append(monitor.num_samples))
+        sim.run(16 + 50 * 2 + 1)
+        assert counts == [1, 2]
+
+
 class TestSampling:
     def test_collects_expected_number_of_samples(self):
         sim = make_simulator()

@@ -1,0 +1,190 @@
+"""Unit tests for the per-node injection rate-limit / quarantine hook."""
+
+import pytest
+
+from repro.noc.network import MeshNetwork
+from repro.noc.packet import Packet
+from repro.noc.simulator import NoCSimulator, SimulationConfig
+from repro.noc.topology import MeshTopology
+from repro.traffic.synthetic import UniformRandomTraffic
+
+
+def run_cycles(network, cycles, start=0):
+    for cycle in range(start, start + cycles):
+        network.step(cycle)
+    return start + cycles
+
+
+def saturated_source(network, node, cycles):
+    """Keep ``node``'s source queue loaded and count packets it injects."""
+    destination = 0 if node != 0 else 1
+    for index in range(cycles):
+        network.enqueue_packet(
+            Packet(source=node, destination=destination, size_flits=1, created_cycle=0)
+        )
+    run_cycles(network, cycles)
+    return network.stats.packets_injected
+
+
+class TestInjectionLimitAPI:
+    def test_default_is_unrestricted(self):
+        network = MeshNetwork(MeshTopology(rows=4))
+        assert all(network.injection_limit(n) == 1.0 for n in range(16))
+        assert network.restricted_nodes == []
+
+    def test_limit_validation(self):
+        network = MeshNetwork(MeshTopology(rows=4))
+        with pytest.raises(ValueError):
+            network.set_injection_limit(0, 1.5)
+        with pytest.raises(ValueError):
+            network.set_injection_limit(0, -0.1)
+        with pytest.raises(ValueError):
+            network.set_injection_limit(99, 0.5)
+
+    def test_restricted_nodes_and_reset(self):
+        network = MeshNetwork(MeshTopology(rows=4))
+        network.set_injection_limit(3, 0.5)
+        network.set_injection_limit(7, 0.0)
+        assert network.restricted_nodes == [3, 7]
+        network.reset_injection_limits()
+        assert network.restricted_nodes == []
+        assert network.injection_limit(3) == 1.0
+
+
+class TestThrottledInjection:
+    def test_quarantine_blocks_all_injection(self):
+        network = MeshNetwork(MeshTopology(rows=4))
+        network.set_injection_limit(5, 0.0)
+        injected = saturated_source(network, 5, cycles=50)
+        assert injected == 0
+        assert network.queued_flits == 50
+
+    def test_fractional_limit_scales_rate(self):
+        full = saturated_source(MeshNetwork(MeshTopology(rows=4)), 5, cycles=100)
+        network = MeshNetwork(MeshTopology(rows=4))
+        network.set_injection_limit(5, 0.25)
+        quarter = saturated_source(network, 5, cycles=100)
+        assert full > 0
+        assert 0 < quarter <= full * 0.3
+
+    def test_release_restores_full_rate(self):
+        network = MeshNetwork(MeshTopology(rows=4))
+        network.set_injection_limit(5, 0.0)
+        saturated_source(network, 5, cycles=20)
+        assert network.stats.packets_injected == 0
+        network.set_injection_limit(5, 1.0)
+        run_cycles(network, 40, start=20)
+        assert network.stats.packets_injected > 0
+
+    def test_tightening_limit_discards_accrued_credit(self):
+        """Credit accrued under a looser limit must not leak past quarantine."""
+        network = MeshNetwork(MeshTopology(rows=4))
+        network.set_injection_limit(5, 0.5)
+        run_cycles(network, 4)  # idle: allowance accrues towards the cap
+        network.set_injection_limit(5, 0.0)
+        network.enqueue_packet(
+            Packet(source=5, destination=0, size_flits=1, created_cycle=4)
+        )
+        run_cycles(network, 20, start=4)
+        assert network.stats.packets_injected == 0
+
+    def test_quarantine_never_strands_partial_packet(self):
+        """Continuation flits of an already-started packet bypass the limit.
+
+        Otherwise a quarantined node would hold a headless partial worm (and
+        its VCs) inside the routers for the whole quarantine.
+        """
+        network = MeshNetwork(MeshTopology(rows=4))
+        packet = Packet(source=5, destination=0, size_flits=4, created_cycle=0)
+        network.enqueue_packet(packet)
+        network.step(0)  # bandwidth 1: only the head flit enters the network
+        assert packet.injected_cycle is not None
+        network.set_injection_limit(5, 0.0)
+        # a second packet queued behind must stay blocked
+        network.enqueue_packet(
+            Packet(source=5, destination=0, size_flits=4, created_cycle=1)
+        )
+        run_cycles(network, 60, start=1)
+        assert packet.is_delivered
+        assert network.in_flight_flits == 0
+        assert network.stats.packets_injected == 1
+
+    def test_idle_node_cannot_burst_beyond_bandwidth(self):
+        """Credit accrued while idle is capped at one cycle's bandwidth."""
+        network = MeshNetwork(MeshTopology(rows=4))
+        network.set_injection_limit(5, 0.5)
+        run_cycles(network, 100)  # long idle accrual period
+        for _ in range(4):
+            network.enqueue_packet(
+                Packet(source=5, destination=0, size_flits=1, created_cycle=100)
+            )
+        network.step(100)
+        assert network.stats.packets_injected <= network.injection_bandwidth
+
+
+class TestFlushSourceQueue:
+    def test_flush_drops_queued_packets(self):
+        network = MeshNetwork(MeshTopology(rows=4))
+        for _ in range(3):
+            network.enqueue_packet(
+                Packet(source=5, destination=0, size_flits=4, created_cycle=0)
+            )
+        dropped = network.flush_source_queue(5)
+        assert dropped == 12
+        assert network.queued_flits == 0
+        assert network.dropped_packets == 3
+
+    def test_flush_keeps_partially_injected_packet(self):
+        """Flits of a packet whose head already entered the network survive."""
+        network = MeshNetwork(MeshTopology(rows=4))
+        packet = Packet(source=5, destination=0, size_flits=4, created_cycle=0)
+        network.enqueue_packet(packet)
+        network.step(0)  # bandwidth 1: only the head flit is injected
+        assert packet.injected_cycle is not None
+        dropped = network.flush_source_queue(5)
+        assert dropped == 0
+        assert len(network.source_queues[5]) == 3
+        run_cycles(network, 40, start=1)
+        assert packet.is_delivered
+
+    def test_flush_empty_queue_is_noop(self):
+        network = MeshNetwork(MeshTopology(rows=4))
+        assert network.flush_source_queue(5) == 0
+        assert network.dropped_packets == 0
+
+
+class TestSimulatorWrappers:
+    def test_throttle_quarantine_release(self):
+        simulator = NoCSimulator(SimulationConfig(rows=4))
+        simulator.throttle_node(3, 0.25)
+        simulator.quarantine_node(7)
+        assert simulator.restricted_nodes == [3, 7]
+        assert simulator.network.injection_limit(3) == 0.25
+        assert simulator.network.injection_limit(7) == 0.0
+        simulator.release_node(3)
+        simulator.release_node(7)
+        assert simulator.restricted_nodes == []
+
+    def test_drain_ignores_quarantined_backlog(self):
+        """drain() must terminate even when a fenced queue can never empty."""
+        simulator = NoCSimulator(SimulationConfig(rows=4, warmup_cycles=0, seed=0))
+        for _ in range(4):
+            simulator.network.enqueue_packet(
+                Packet(source=5, destination=0, size_flits=4, created_cycle=0)
+            )
+        simulator.run(2)  # first packet is mid-injection
+        simulator.quarantine_node(5)
+        extra = simulator.drain(max_cycles=2000)
+        assert extra < 2000
+        assert simulator.network.in_flight_flits == 0
+        assert simulator.network.queued_flits > 0  # fenced backlog remains
+
+    def test_quarantined_source_generates_no_traffic(self):
+        simulator = NoCSimulator(SimulationConfig(rows=4, warmup_cycles=0, seed=0))
+        simulator.add_source(
+            UniformRandomTraffic(simulator.topology, injection_rate=0.5, seed=0)
+        )
+        for node in range(simulator.topology.num_nodes):
+            simulator.quarantine_node(node)
+        simulator.run(100)
+        assert simulator.stats.packets_delivered == 0
