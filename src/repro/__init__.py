@@ -51,6 +51,7 @@ from repro.monitor import (
 from repro.noc import Direction, MeshTopology, NoCSimulator, SimulationConfig
 from repro.traffic import (
     AttackScenario,
+    MultiAttackScenario,
     FloodingAttacker,
     FloodingConfig,
     ScenarioGenerator,
@@ -62,6 +63,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AttackScenario",
+    "MultiAttackScenario",
     "DL2Fence",
     "DL2FenceConfig",
     "DL2FenceGuard",

@@ -12,6 +12,16 @@ Engagement and release follow the hysteresis of the configured
 :class:`~repro.defense.policy.MitigationPolicy` so a single noisy window can
 neither trip nor lift the fence, and nodes that stop being re-flagged roll
 back automatically even while an attack continues elsewhere.
+
+Concurrent multi-attacker floods are handled through **iterative
+localization rounds**, following the paper's Figure-3 multi-attacker rules:
+fencing the loudest localized attacker removes its congestion signature, the
+guard keeps streaming windows through the Table-Like Method, and the next
+rounds surface the remaining attackers one batch at a time.  Per-node engage
+counts drive an exponential re-engage backoff (quarantined attackers leave
+no evidence, so every release is a probe; repeat offenders are held
+exponentially longer), and ``max_engaged_nodes`` bounds the blast radius of
+an over-approximated localization superset.
 """
 
 from __future__ import annotations
@@ -74,6 +84,13 @@ class DL2FenceGuard:
         # per-node engagement hysteresis, so one spurious localization in an
         # otherwise correct detection streak cannot fence an innocent node.
         self._flag_streaks: dict[int, int] = {}
+        # Lifetime engagement count per node: feeds the policy's re-engage
+        # backoff so an attacker that oscillates through release probes is
+        # held exponentially longer each time.
+        self._engage_counts: dict[int, int] = {}
+        # Iterative localization round counter: each batch of engagements is
+        # one round of the paper's multi-attacker sampling procedure.
+        self._round = 0
         self._consecutive_detections = 0
         self._consecutive_clean = 0
         self._delivered_index = 0
@@ -110,6 +127,11 @@ class DL2FenceGuard:
     def is_engaged(self) -> bool:
         return bool(self._engaged)
 
+    @property
+    def localization_round(self) -> int:
+        """Engagement rounds completed so far (0 before the first fence)."""
+        return self._round
+
     # -- the closed loop -----------------------------------------------------
     def on_sample(self, sample: FrameSample, simulator: NoCSimulator) -> None:
         """Process one sampling window: detect, localize, mitigate, record."""
@@ -143,8 +165,8 @@ class DL2FenceGuard:
         if result.detected:
             self._engage_flagged(result.attackers, sample.cycle, simulator)
             self._rollback_stale(set(result.attackers), sample.cycle, simulator)
-        elif self._engaged and self._consecutive_clean >= self.policy.release_after:
-            self._release_all(sample.cycle, simulator)
+        elif self._engaged:
+            self._release_ready(sample.cycle, simulator)
 
         if engaged_at_start:
             phase = "mitigated"
@@ -178,49 +200,70 @@ class DL2FenceGuard:
         A node engages only once it has been flagged in ``engage_after``
         consecutive detection windows — per-node hysteresis on top of the
         detection itself, which keeps one-off localization noise from
-        throttling innocents.
+        throttling innocents.  When the policy caps simultaneously engaged
+        nodes, the most persistently flagged candidates are fenced first and
+        the rest wait for the next localization round — the superset-recovery
+        safeguard for a Table-Like Method that over-approximates.
         """
         flagged = set(attackers)
         for node in list(self._flag_streaks):
             if node not in flagged:
                 del self._flag_streaks[node]
-        newly_engaged = []
+        eligible: list[tuple[int, int]] = []
         for node in attackers:
             if node in self._engaged:
                 continue
             streak = self._flag_streaks.get(node, 0) + 1
             self._flag_streaks[node] = streak
-            if streak < self.policy.engage_after:
-                continue
+            if streak >= self.policy.engage_after:
+                eligible.append((node, streak))
+        budget = len(eligible)
+        if self.policy.max_engaged_nodes is not None:
+            budget = max(0, self.policy.max_engaged_nodes - len(self._engaged))
+        # Longest streak first: the most consistently localized candidate is
+        # the "loudest" attacker of this round.
+        eligible.sort(key=lambda item: (-item[1], item[0]))
+        newly_engaged = []
+        for node, _streak in eligible[:budget]:
             previous = simulator.network.injection_limit(node)
             simulator.throttle_node(node, self.policy.injection_limit)
             if self.policy.flush_queue:
                 simulator.network.flush_source_queue(node)
+            self._engage_counts[node] = self._engage_counts.get(node, 0) + 1
             self._engaged[node] = _EngagedNode(
                 node=node, previous_limit=previous, engaged_cycle=cycle
             )
             newly_engaged.append(node)
         if newly_engaged:
+            self._round += 1
             self.report.events.append(
                 DefenseEvent(
                     cycle=cycle,
                     kind="engaged",
-                    nodes=tuple(newly_engaged),
+                    nodes=tuple(sorted(newly_engaged)),
                     detail=f"limit={self.policy.injection_limit:g}",
+                    round=self._round,
                 )
             )
 
     def _rollback_stale(
         self, flagged: set[int], cycle: int, simulator: NoCSimulator
     ) -> None:
-        """Release engaged nodes the localizer has stopped flagging."""
+        """Release engaged nodes the localizer has stopped flagging.
+
+        The per-node threshold grows with the node's engagement count: a
+        fenced attacker looks exactly like a false positive (no congestion
+        evidence), so a node that already bounced through a release probe is
+        held longer before the next one.
+        """
         rolled_back = []
         for node, state in list(self._engaged.items()):
             if node in flagged:
                 state.windows_since_flagged = 0
                 continue
             state.windows_since_flagged += 1
-            if state.windows_since_flagged >= self.policy.stale_after:
+            threshold = self.policy.stale_threshold(self._engage_counts.get(node, 1))
+            if state.windows_since_flagged >= threshold:
                 self._release_node(node, simulator)
                 rolled_back.append(node)
         if rolled_back:
@@ -244,11 +287,26 @@ class DL2FenceGuard:
                     )
                 )
 
-    def _release_all(self, cycle: int, simulator: NoCSimulator) -> None:
-        released = sorted(self._engaged)
+    def _release_ready(self, cycle: int, simulator: NoCSimulator) -> None:
+        """Release engaged nodes whose clean-window hold has expired.
+
+        Per-node release state: each node's required clean streak is scaled
+        by the policy's re-engage backoff, so first offenders release after
+        ``release_after`` clean windows exactly as before, while oscillating
+        nodes wait exponentially longer.
+        """
+        released = [
+            node
+            for node in sorted(self._engaged)
+            if self._consecutive_clean
+            >= self.policy.release_threshold(self._engage_counts.get(node, 1))
+        ]
+        if not released:
+            return
         for node in released:
             self._release_node(node, simulator)
-        self._flag_streaks.clear()
+        if not self._engaged:
+            self._flag_streaks.clear()
         self.report.events.append(
             DefenseEvent(
                 cycle=cycle,
@@ -260,6 +318,10 @@ class DL2FenceGuard:
 
     def _release_node(self, node: int, simulator: NoCSimulator) -> None:
         state = self._engaged.pop(node)
+        # A released node must rebuild a full engage_after streak before it
+        # can be fenced again — without this, a streak surviving a partial
+        # release would let one noisy localization instantly re-engage it.
+        self._flag_streaks.pop(node, None)
         if self.policy.flush_queue:
             # Restart the interface cleanly: the backlog accumulated while
             # fenced would otherwise pour out the moment the limit lifts.

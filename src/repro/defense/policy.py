@@ -13,14 +13,24 @@ countermeasures the defense guard knows how to apply through the
   (and least forgiving) response.
 
 Both are wrapped in confidence hysteresis: the guard only engages after
-``engage_after`` consecutive detected windows, fully rolls back after
+``engage_after`` consecutive detected windows, rolls a node back after
 ``release_after`` consecutive clean windows, and releases an individual node
 early when the localizer stops re-flagging it for ``stale_after`` detection
 windows (false-positive-safe rollback).
+
+Two multi-attack safeguards ride on top.  ``reengage_backoff``
+exponentially lengthens the hold of a node that has already been released
+and re-engaged, bounding the quarantine release/probe oscillation a fully
+fenced attacker otherwise causes (a fenced flood leaves no congestion
+signature, so every release is a probe).  ``max_engaged_nodes`` caps how
+many nodes may be fenced simultaneously, so a Table-Like-Method superset
+that grossly over-approximates the attacker set cannot quarantine a large
+part of the mesh in one sweep.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 __all__ = ["MitigationPolicy"]
@@ -56,6 +66,17 @@ class MitigationPolicy:
         flood cannot pour out once the limit lifts.  Costs any benign
         packets the node had queued, which the collateral accounting makes
         visible.
+    reengage_backoff:
+        Hold multiplier for repeat offenders: a node engaged for the k-th
+        time must survive ``release_after * backoff**(k-1)`` clean windows
+        (and ``stale_after * backoff**(k-1)`` unflagged detection windows)
+        before it is released again.  ``1.0`` disables the backoff and
+        restores pure fixed-threshold hysteresis.
+    max_engaged_nodes:
+        Upper bound on simultaneously fenced nodes (``None`` = unlimited).
+        Guards against an over-approximated localization superset; the guard
+        engages the most persistently flagged candidates first and leaves
+        the rest for the next sampling round.
     """
 
     action: str = "throttle"
@@ -64,6 +85,8 @@ class MitigationPolicy:
     release_after: int = 2
     stale_after: int = 3
     flush_queue: bool = False
+    reengage_backoff: float = 2.0
+    max_engaged_nodes: int | None = None
 
     def __post_init__(self) -> None:
         if self.action not in _ACTIONS:
@@ -76,6 +99,23 @@ class MitigationPolicy:
             raise ValueError("release_after must be >= 1")
         if self.stale_after < 1:
             raise ValueError("stale_after must be >= 1")
+        if self.reengage_backoff < 1.0:
+            raise ValueError("reengage_backoff must be >= 1.0")
+        if self.max_engaged_nodes is not None and self.max_engaged_nodes < 1:
+            raise ValueError("max_engaged_nodes must be >= 1 (or None)")
+
+    # -- hysteresis thresholds ----------------------------------------------
+    def release_threshold(self, engagements: int) -> int:
+        """Clean windows required to release a node engaged ``engagements`` times."""
+        return self._backed_off(self.release_after, engagements)
+
+    def stale_threshold(self, engagements: int) -> int:
+        """Unflagged detection windows before a node's stale rollback."""
+        return self._backed_off(self.stale_after, engagements)
+
+    def _backed_off(self, base: int, engagements: int) -> int:
+        exponent = max(0, engagements - 1)
+        return int(math.ceil(base * self.reengage_backoff**exponent))
 
     @property
     def injection_limit(self) -> float:

@@ -24,17 +24,26 @@ PHASES = ("benign", "attack", "mitigated")
 
 @dataclass(frozen=True)
 class DefenseEvent:
-    """A discrete state transition of the defense loop."""
+    """A discrete state transition of the defense loop.
+
+    ``round`` numbers the iterative localization round the event belongs to:
+    each batch of engagements opens a new round, mirroring the paper's
+    multi-attacker sampling rounds (quarantine the loudest attacker, keep
+    sampling, and the next round's frames reveal the rest).
+    """
 
     cycle: int
     kind: str  # "detected" | "engaged" | "rolled_back" | "released"
     nodes: tuple[int, ...] = ()
     detail: str = ""
+    round: int = 0
 
     def describe(self) -> str:
         text = f"cycle {self.cycle:>7d}: {self.kind}"
         if self.nodes:
             text += f" nodes={list(self.nodes)}"
+        if self.round:
+            text += f" round={self.round}"
         if self.detail:
             text += f" ({self.detail})"
         return text
@@ -133,6 +142,81 @@ class DefenseReport:
             if window.restricted and window.cycle >= self.attack_start:
                 return window.cycle - self.attack_start
         return None
+
+    # -- per-attacker metrics (multi-attack) ----------------------------------
+    def per_attacker_detection_latency(self) -> dict[int, int | None]:
+        """Cycles from attack start until each true attacker is first localized.
+
+        Needs ``attack_start`` and ``true_attackers``.  Judged on the
+        per-window TLM output: an attacker only "surfaces" once the
+        localizer names it, which for concurrent floods typically happens in
+        a later sampling round, after louder attackers are fenced.
+        """
+        latencies: dict[int, int | None] = {}
+        for attacker in self.true_attackers:
+            latencies[attacker] = None
+            if self.attack_start is None:
+                continue
+            for window in self.windows:
+                if window.cycle >= self.attack_start and attacker in window.attackers:
+                    latencies[attacker] = window.cycle - self.attack_start
+                    break
+        return latencies
+
+    def per_attacker_time_to_mitigation(self) -> dict[int, int | None]:
+        """Cycles from attack start until each true attacker is restricted."""
+        latencies: dict[int, int | None] = {}
+        for attacker in self.true_attackers:
+            latencies[attacker] = None
+            if self.attack_start is None:
+                continue
+            for window in self.windows:
+                if window.cycle >= self.attack_start and attacker in window.restricted:
+                    latencies[attacker] = window.cycle - self.attack_start
+                    break
+        return latencies
+
+    @property
+    def containment_cycle(self) -> int | None:
+        """First window cycle with *every* true attacker under restriction."""
+        truth = set(self.true_attackers)
+        if not truth:
+            return None
+        for window in self.windows:
+            if truth.issubset(window.restricted):
+                return window.cycle
+        return None
+
+    @property
+    def time_to_full_containment(self) -> int | None:
+        """Cycles from attack start until all true attackers are fenced at once.
+
+        The headline multi-attack metric: it absorbs every iterative
+        localization round needed to surface quieter attackers after louder
+        ones are fenced.  Needs ``attack_start`` and ``true_attackers``.
+        """
+        if self.attack_start is None or self.containment_cycle is None:
+            return None
+        return max(0, self.containment_cycle - self.attack_start)
+
+    def engage_counts(self) -> dict[int, int]:
+        """How many times each node was (re-)engaged over the episode."""
+        counts: dict[int, int] = {}
+        for event in self.events:
+            if event.kind == "engaged":
+                for node in event.nodes:
+                    counts[node] = counts.get(node, 0) + 1
+        return counts
+
+    @property
+    def reengagements(self) -> int:
+        """Total release-and-re-engage transitions (oscillation measure)."""
+        return sum(count - 1 for count in self.engage_counts().values())
+
+    @property
+    def localization_rounds(self) -> int:
+        """Number of iterative engagement rounds the episode needed."""
+        return max((e.round for e in self.events if e.kind == "engaged"), default=0)
 
     # -- node sets -----------------------------------------------------------
     @property
@@ -244,12 +328,80 @@ class DefenseReport:
             "release_cycle": self.release_cycle,
             "detection_latency": self.detection_latency,
             "time_to_mitigation": self.time_to_mitigation,
+            "time_to_full_containment": self.time_to_full_containment,
+            "localization_rounds": self.localization_rounds,
+            "reengagements": self.reengagements,
             "pre_attack_latency": self.pre_attack_latency(),
             "attack_latency": self.attack_latency(),
             "post_mitigation_latency": self.post_mitigation_latency(),
             "engaged_nodes": sorted(self.engaged_nodes),
             "collateral_nodes": sorted(self.collateral_nodes),
             "collateral_node_windows": self.collateral_node_windows,
+        }
+
+    def as_dict(self) -> dict:
+        """Full deterministic serialization of the defended episode.
+
+        Everything the report holds — configuration, per-window records,
+        events and derived metrics — as plain JSON-able types.  NaN
+        latencies become ``None`` so two reports from identically seeded
+        runs compare equal with ``==`` (NaN never equals itself), which the
+        reproducibility tests rely on.
+        """
+
+        def scrub(value: float) -> float | None:
+            return None if isinstance(value, float) and math.isnan(value) else value
+
+        return {
+            "policy": {
+                "action": self.policy.action,
+                "throttle_factor": self.policy.throttle_factor,
+                "engage_after": self.policy.engage_after,
+                "release_after": self.policy.release_after,
+                "stale_after": self.policy.stale_after,
+                "flush_queue": self.policy.flush_queue,
+                "reengage_backoff": self.policy.reengage_backoff,
+                "max_engaged_nodes": self.policy.max_engaged_nodes,
+            },
+            "sample_period": self.sample_period,
+            "attack_start": self.attack_start,
+            "attack_end": self.attack_end,
+            "true_attackers": list(self.true_attackers),
+            "windows": [
+                {
+                    "index": w.index,
+                    "cycle": w.cycle,
+                    "detected": w.detected,
+                    "probability": scrub(w.probability),
+                    "phase": w.phase,
+                    "victims": list(w.victims),
+                    "attackers": list(w.attackers),
+                    "restricted": list(w.restricted),
+                    "benign_latency": scrub(w.benign_latency),
+                    "benign_delivered": w.benign_delivered,
+                    "malicious_delivered": w.malicious_delivered,
+                }
+                for w in self.windows
+            ],
+            "events": [
+                {
+                    "cycle": e.cycle,
+                    "kind": e.kind,
+                    "nodes": list(e.nodes),
+                    "detail": e.detail,
+                    "round": e.round,
+                }
+                for e in self.events
+            ],
+            "per_attacker_detection_latency": {
+                str(node): value
+                for node, value in self.per_attacker_detection_latency().items()
+            },
+            "per_attacker_time_to_mitigation": {
+                str(node): value
+                for node, value in self.per_attacker_time_to_mitigation().items()
+            },
+            "summary": {key: scrub(value) for key, value in self.summary().items()},
         }
 
     def format_timeline(self) -> str:

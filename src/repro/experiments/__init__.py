@@ -21,6 +21,7 @@ from repro.experiments.detection import (
 from repro.experiments.latency_sweep import LatencyPoint, run_latency_sweep
 from repro.experiments.mitigation import (
     MitigationPoint,
+    default_multi_scenario,
     run_defended_episode,
     run_mitigation_sweep,
     train_defense_pipeline,
@@ -48,6 +49,7 @@ __all__ = [
     "run_feature_experiment",
     "run_latency_sweep",
     "run_localization_examples",
+    "default_multi_scenario",
     "run_mitigation_sweep",
     "run_overhead_sweep",
     "train_defense_pipeline",

@@ -7,11 +7,18 @@ and how completely does benign-traffic latency recover?  For every
 (FIR, mesh, policy) operating point it reports detection latency,
 time-to-mitigation, benign latency in the three phases of the defended run,
 the recovery ratio against a no-attack baseline, and collateral damage.
+
+Episodes accept either a single :class:`AttackScenario` or a
+:class:`MultiAttackScenario` of concurrent floods on disjoint victims; the
+multi-attack sweep additionally reports per-attacker detection latency and
+the time until *all* attackers are contained, across the guard's iterative
+localization rounds.  The sweep runs at the paper's 16x16 scale and over
+PARSEC workloads (see :mod:`benchmarks.bench_fig6_mitigation_recovery`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 from repro.core.config import DL2FenceConfig
 from repro.core.pipeline import DL2Fence
@@ -24,11 +31,12 @@ from repro.monitor.sampler import MonitorConfig
 from repro.noc.simulator import NoCSimulator
 from repro.noc.stats import LatencyStats
 from repro.traffic.flooding import FloodingAttacker, FloodingConfig
-from repro.traffic.scenario import AttackScenario
+from repro.traffic.scenario import AttackScenario, MultiAttackScenario
 
 __all__ = [
     "MitigationPoint",
     "baseline_benign_latency",
+    "default_multi_scenario",
     "train_defense_pipeline",
     "run_defended_episode",
     "run_mitigation_sweep",
@@ -60,15 +68,28 @@ class MitigationPoint:
     engaged_nodes: tuple[int, ...]
     collateral_nodes: tuple[int, ...]
     collateral_node_windows: int
+    benchmark: str = "uniform_random"
+    num_attackers: int = 1
+    attackers_fenced: int = 0
+    time_to_full_containment: int | None = None
+    localization_rounds: int = 0
+    reengagements: int = 0
+    per_attacker_detection_latency: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
             "fir": self.fir,
             "rows": self.rows,
+            "benchmark": self.benchmark,
             "policy": self.policy,
+            "attackers": self.num_attackers,
             "detected": self.detected,
             "detection_latency": self.detection_latency,
             "time_to_mitigation": self.time_to_mitigation,
+            "containment": self.time_to_full_containment,
+            "fenced": self.attackers_fenced,
+            "rounds": self.localization_rounds,
+            "reengage": self.reengagements,
             "baseline_latency": self.baseline_latency,
             "attack_latency": self.attack_latency,
             "unmitigated_latency": self.unmitigated_latency,
@@ -111,6 +132,48 @@ def _default_scenario(builder: DatasetBuilder, fir: float) -> AttackScenario:
     )
 
 
+def default_multi_scenario(
+    builder: DatasetBuilder, num_flows: int = 2, fir: float = 0.8
+) -> MultiAttackScenario:
+    """Deterministic concurrent floods on disjoint victims in disjoint rows.
+
+    Flow ``i`` floods along its own mesh row (rows spread evenly across the
+    mesh), alternating east- and west-bound so both E and W abnormal-frame
+    rules of the Table-Like Method are exercised.  Row-disjoint routes keep
+    every flow's congestion signature independent — the cleanest instance of
+    the "concurrent attackers on disjoint victims" threat model.
+    """
+    topology = builder.topology
+    rows, cols = topology.rows, topology.columns
+    if num_flows < 1:
+        raise ValueError("num_flows must be >= 1")
+    if rows < 4 or cols < 4:
+        # On a 3-wide mesh the end-of-row attacker and victim coincide.
+        raise ValueError("default multi-attack flows need at least a 4x4 mesh")
+    if num_flows > rows - 2:
+        raise ValueError(f"at most {rows - 2} row-disjoint flows fit on this mesh")
+    flows = []
+    for index in range(num_flows):
+        y = 1 + round(index * (rows - 3) / max(1, num_flows - 1)) if num_flows > 1 else rows - 2
+        if index % 2 == 0:
+            attacker = topology.node_id(cols - 2, y)
+            victim = topology.node_id(1, y)
+        else:
+            attacker = topology.node_id(1, y)
+            victim = topology.node_id(cols - 2, y)
+        flows.append(AttackScenario(attackers=(attacker,), victim=victim, fir=fir))
+    return MultiAttackScenario(flows=tuple(flows))
+
+
+def _scenario_with_fir(
+    scenario: AttackScenario | MultiAttackScenario, fir: float
+) -> AttackScenario | MultiAttackScenario:
+    """Uniformly override the FIR of a single- or multi-attack scenario."""
+    if isinstance(scenario, MultiAttackScenario):
+        return scenario.with_fir(fir)
+    return replace(scenario, fir=fir)
+
+
 @dataclass(frozen=True)
 class _EpisodeShape:
     """Cycle arithmetic shared by every run of the same attack episode."""
@@ -135,7 +198,7 @@ class _EpisodeShape:
 def _attacked_simulator(
     builder: DatasetBuilder,
     benchmark: str,
-    scenario: AttackScenario,
+    scenario: AttackScenario | MultiAttackScenario,
     fir: float,
     shape: _EpisodeShape,
     seed: int,
@@ -144,20 +207,31 @@ def _attacked_simulator(
     config = builder.config
     simulator = NoCSimulator(config.simulation_config())
     simulator.add_source(builder.make_workload(benchmark, seed=seed))
-    simulator.add_source(
-        FloodingAttacker(
-            FloodingConfig(
-                attackers=scenario.attackers,
-                victim=scenario.victim,
-                fir=fir,
-                packet_size_flits=config.packet_size_flits,
-                start_cycle=shape.attack_start,
-                end_cycle=shape.attack_end,
-            ),
+    scenario = _scenario_with_fir(scenario, fir)
+    if isinstance(scenario, MultiAttackScenario):
+        for source in scenario.attacker_sources(
             builder.topology,
             seed=seed + 1,
+            packet_size_flits=config.packet_size_flits,
+            start_cycle=shape.attack_start,
+            end_cycle=shape.attack_end,
+        ):
+            simulator.add_source(source)
+    else:
+        simulator.add_source(
+            FloodingAttacker(
+                FloodingConfig(
+                    attackers=scenario.attackers,
+                    victim=scenario.victim,
+                    fir=fir,
+                    packet_size_flits=config.packet_size_flits,
+                    start_cycle=shape.attack_start,
+                    end_cycle=shape.attack_end,
+                ),
+                builder.topology,
+                seed=seed + 1,
+            )
         )
-    )
     return simulator
 
 
@@ -189,7 +263,7 @@ def run_defended_episode(
     policy: MitigationPolicy,
     fir: float,
     benchmark: str = "uniform_random",
-    scenario: AttackScenario | None = None,
+    scenario: AttackScenario | MultiAttackScenario | None = None,
     pre_attack_windows: int = 4,
     attack_windows: int = 10,
     post_attack_windows: int = 4,
@@ -197,6 +271,11 @@ def run_defended_episode(
     baseline_latency: float | None = None,
 ) -> tuple[DefenseReport, float]:
     """Run one attack episode under guard; returns (report, baseline latency).
+
+    ``scenario`` may be a single :class:`AttackScenario` or a
+    :class:`MultiAttackScenario` of concurrent floods; the guard then fences
+    the attackers over iterative localization rounds and the report carries
+    per-attacker latencies plus time-to-full-containment.
 
     The baseline is the same workload and measurement horizon with neither
     attacker nor guard — the no-attack benign latency the defended system is
@@ -209,7 +288,7 @@ def run_defended_episode(
     if scenario is None:
         scenario = _default_scenario(builder, fir)
     else:
-        scenario = replace(scenario, fir=fir)
+        scenario = _scenario_with_fir(scenario, fir)
     if baseline_latency is None:
         baseline_latency = baseline_benign_latency(
             builder,
@@ -240,7 +319,7 @@ def unmitigated_attack_latency(
     builder: DatasetBuilder,
     fir: float,
     benchmark: str = "uniform_random",
-    scenario: AttackScenario | None = None,
+    scenario: AttackScenario | MultiAttackScenario | None = None,
     pre_attack_windows: int = 4,
     attack_windows: int = 10,
     post_attack_windows: int = 4,
@@ -277,16 +356,35 @@ def run_mitigation_sweep(
     policies: tuple[MitigationPolicy, ...] = DEFAULT_POLICIES,
     config: ExperimentConfig | None = None,
     benchmark: str = "uniform_random",
+    num_flows: int = 1,
+    attack_windows: int = 10,
+    training_benchmarks: tuple[str, ...] = ("uniform_random", "tornado"),
 ) -> list[MitigationPoint]:
-    """Sweep FIR x mesh size x mitigation policy with one trained pipeline per mesh."""
+    """Sweep FIR x mesh size x mitigation policy with one trained pipeline per mesh.
+
+    ``num_flows >= 2`` switches every episode to the deterministic
+    row-disjoint :func:`default_multi_scenario` of concurrent floods, and
+    ``benchmark`` accepts PARSEC workloads as well as synthetic patterns, so
+    the sweep covers the paper's 16x16 + PARSEC evaluation scale.
+    """
     base_config = config or ExperimentConfig()
     points: list[MitigationPoint] = []
     for rows in rows_values:
         experiment = base_config.scaled(rows=rows)
-        fence, builder = train_defense_pipeline(experiment)
-        mesh_baseline = baseline_benign_latency(builder, benchmark=benchmark)
+        fence, builder = train_defense_pipeline(experiment, benchmarks=training_benchmarks)
+        mesh_baseline = baseline_benign_latency(
+            builder, benchmark=benchmark, attack_windows=attack_windows
+        )
+        scenario = (
+            default_multi_scenario(builder, num_flows=num_flows)
+            if num_flows > 1
+            else None
+        )
         for fir in firs:
-            unmitigated = unmitigated_attack_latency(builder, fir, benchmark=benchmark)
+            unmitigated = unmitigated_attack_latency(
+                builder, fir, benchmark=benchmark, scenario=scenario,
+                attack_windows=attack_windows,
+            )
             for policy in policies:
                 report, baseline = run_defended_episode(
                     fence,
@@ -294,8 +392,11 @@ def run_mitigation_sweep(
                     policy,
                     fir=fir,
                     benchmark=benchmark,
+                    scenario=scenario,
+                    attack_windows=attack_windows,
                     baseline_latency=mesh_baseline,
                 )
+                truth = set(report.true_attackers)
                 points.append(
                     MitigationPoint(
                         fir=fir,
@@ -315,6 +416,15 @@ def run_mitigation_sweep(
                         engaged_nodes=tuple(sorted(report.engaged_nodes)),
                         collateral_nodes=tuple(sorted(report.collateral_nodes)),
                         collateral_node_windows=report.collateral_node_windows,
+                        benchmark=benchmark,
+                        num_attackers=len(truth),
+                        attackers_fenced=len(truth & report.engaged_nodes),
+                        time_to_full_containment=report.time_to_full_containment,
+                        localization_rounds=report.localization_rounds,
+                        reengagements=report.reengagements,
+                        per_attacker_detection_latency=(
+                            report.per_attacker_detection_latency()
+                        ),
                     )
                 )
     return points

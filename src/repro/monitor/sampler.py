@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.monitor.features import FeatureKind, extract_feature_frame
+from repro.monitor.features import FeatureKind, extract_feature_frames
 from repro.monitor.frames import DirectionalFrame, FrameSample, FrameSet
 from repro.noc.simulator import NoCSimulator
 from repro.noc.topology import Direction
@@ -74,19 +74,21 @@ class GlobalPerformanceMonitor:
         """Capture one frame sample right now and store it."""
         network = simulator.network
         cycle = simulator.cycle
+        vco_values = extract_feature_frames(network, FeatureKind.VCO)
+        boc_values = extract_feature_frames(network, FeatureKind.BOC)
         vco_frames = {}
         boc_frames = {}
         for direction in Direction.cardinal():
             vco_frames[direction] = DirectionalFrame(
                 direction=direction,
                 kind=FeatureKind.VCO,
-                values=extract_feature_frame(network, direction, FeatureKind.VCO),
+                values=vco_values[direction],
                 cycle=cycle,
             )
             boc_frames[direction] = DirectionalFrame(
                 direction=direction,
                 kind=FeatureKind.BOC,
-                values=extract_feature_frame(network, direction, FeatureKind.BOC),
+                values=boc_values[direction],
                 cycle=cycle,
             )
         attack_active = any(

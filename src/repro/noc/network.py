@@ -50,7 +50,22 @@ class MeshNetwork:
             Router(node, topology, num_vcs=num_vcs, vc_depth=vc_depth)
             for node in topology.nodes()
         ]
+        for router in self.routers:
+            for direction in Direction.cardinal():
+                neighbor = topology.neighbor(router.node_id, direction)
+                if neighbor is not None:
+                    router.down_ports[direction] = self.routers[neighbor].input_ports[
+                        direction.opposite
+                    ]
+        # Flat port list for the per-cycle occupancy accumulation sweep.
+        self._all_ports = [
+            port for router in self.routers for port in router.input_ports.values()
+        ]
         self.source_queues: list[deque[Flit]] = [deque() for _ in topology.nodes()]
+        # Nodes whose source queue holds flits, and nodes under an injection
+        # limit — the only nodes the injection phase has to visit.
+        self._queued_nodes: set[int] = set()
+        self._limited_nodes: set[int] = set()
         # Per-node injection limit in [0, 1]: the fraction of the injection
         # bandwidth a node may use.  1.0 is unrestricted, 0.0 quarantines the
         # node entirely.  This is the rate-limit hook a runtime defense
@@ -75,6 +90,7 @@ class MeshNetwork:
         self.stats.record_created(packet)
         for flit in packet.to_flits():
             queue.append(flit)
+        self._queued_nodes.add(packet.source)
         return True
 
     def router(self, node_id: int) -> Router:
@@ -95,6 +111,10 @@ class MeshNetwork:
         if node_id not in self.topology:
             raise ValueError(f"node {node_id} outside the {self.topology!r} mesh")
         self.injection_limits[node_id] = float(fraction)
+        if fraction < 1.0:
+            self._limited_nodes.add(node_id)
+        else:
+            self._limited_nodes.discard(node_id)
         # Changing the limit restarts the credit accumulator: credit accrued
         # under an older, looser limit must not leak through a quarantine.
         self._injection_allowance[node_id] = 0.0
@@ -123,6 +143,8 @@ class MeshNetwork:
         self.dropped_packets += len(dropped_packets)
         queue.clear()
         queue.extend(kept)
+        if not queue:
+            self._queued_nodes.discard(node_id)
         return dropped_flits
 
     def reset_injection_limits(self) -> None:
@@ -130,6 +152,7 @@ class MeshNetwork:
         for node in range(self.topology.num_nodes):
             self.injection_limits[node] = 1.0
             self._injection_allowance[node] = 0.0
+        self._limited_nodes.clear()
 
     @property
     def restricted_nodes(self) -> list[int]:
@@ -146,13 +169,22 @@ class MeshNetwork:
         self._inject(cycle)
         moves = self._allocate(cycle)
         self._execute(moves, cycle)
-        for router in self.routers:
-            router.accumulate_occupancy()
+        # Inlined occupancy accumulation over the flat port list: each port
+        # maintains its occupied-VC count incrementally, so this sweep is two
+        # attribute updates per port instead of a scan over its VCs.
+        for port in self._all_ports:
+            port.occupancy_sum += port.occupied_vcs / len(port.vcs)
+            port.occupancy_samples += 1
         self.stats.cycles = cycle + 1
 
     # -- phase 1: injection -----------------------------------------------------
     def _inject(self, cycle: int) -> None:
-        for node, queue in enumerate(self.source_queues):
+        # Only nodes with queued flits or an active injection limit need a
+        # visit: unrestricted idle nodes carry no per-cycle state.  Sorted so
+        # the stats record order matches a full 0..N-1 scan.
+        active = self._queued_nodes | self._limited_nodes
+        for node in sorted(active):
+            queue = self.source_queues[node]
             limit = self.injection_limits[node]
             throttled = limit < 1.0
             if throttled:
@@ -191,6 +223,8 @@ class MeshNetwork:
                 if starts_new_packet:
                     flit.packet.injected_cycle = cycle
                     self.stats.record_injected(flit.packet)
+            if not queue:
+                self._queued_nodes.discard(node)
 
     # -- phase 2: switch allocation ----------------------------------------------
     def _allocate(self, cycle: int) -> list[tuple]:
@@ -209,13 +243,16 @@ class MeshNetwork:
         head_reserved: set[int] = set()
 
         for router in self.routers:
+            # Empty routers (the common case on a large mesh) contribute no
+            # moves and can be skipped without touching the arbitration state.
+            if router.buffered_flits == 0:
+                continue
             used_outputs: set[Direction] = set()
-            directions = list(router.input_ports.keys())
             # Rotate arbitration priority each cycle to avoid starvation.
-            offset = cycle % len(directions)
-            ordered = directions[offset:] + directions[:offset]
-            for direction in ordered:
-                port = router.input_ports[direction]
+            rotations = router.port_rotations
+            for port in rotations[cycle % len(rotations)]:
+                if port.buffered_flits == 0:
+                    continue
                 for vc in port.vcs:
                     flit = vc.peek()
                     if flit is None:
@@ -232,10 +269,9 @@ class MeshNetwork:
                         moves.append((port, vc, ("eject", router)))
                         used_outputs.add(out_dir)
                         continue
-                    neighbor = self.topology.neighbor(router.node_id, out_dir)
-                    if neighbor is None:  # pragma: no cover - defensive
+                    down_port = router.down_ports.get(out_dir)
+                    if down_port is None:  # pragma: no cover - defensive
                         continue
-                    down_port = self.routers[neighbor].input_ports[out_dir.opposite]
                     down_vc = vc.downstream_vc
                     if down_vc is None or not flit.is_head:
                         if flit.is_head:
@@ -281,12 +317,12 @@ class MeshNetwork:
     @property
     def in_flight_flits(self) -> int:
         """Flits buffered anywhere in the network (excluding source queues)."""
-        return sum(router.total_buffered_flits for router in self.routers)
+        return sum(router.buffered_flits for router in self.routers)
 
     @property
     def queued_flits(self) -> int:
         """Flits still waiting in source injection queues."""
-        return sum(len(queue) for queue in self.source_queues)
+        return sum(len(self.source_queues[node]) for node in self._queued_nodes)
 
     @property
     def drainable_queued_flits(self) -> int:
@@ -300,7 +336,8 @@ class MeshNetwork:
         always lets them through.
         """
         total = 0
-        for node, queue in enumerate(self.source_queues):
+        for node in self._queued_nodes:
+            queue = self.source_queues[node]
             if self.injection_limits[node] > 0.0:
                 total += len(queue)
             else:

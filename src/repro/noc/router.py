@@ -95,13 +95,18 @@ class InputPort:
         self.buffer_reads = 0
         self.occupancy_sum = 0.0
         self.occupancy_samples = 0
+        # Incrementally maintained counters (updated in write_flit/read_flit)
+        # so the per-cycle occupancy accumulation and the switch allocator's
+        # empty-port skip are O(1) instead of scanning every VC.
+        self.occupied_vcs = 0
+        self.buffered_flits = 0
+        self.router: "Router | None" = None
 
     # -- DL2Fence observables ---------------------------------------------
     @property
     def instantaneous_occupancy(self) -> float:
         """Occupied VCs / total VCs right now (float in [0, 1])."""
-        occupied = sum(1 for vc in self.vcs if vc.occupied)
-        return occupied / len(self.vcs)
+        return self.occupied_vcs / len(self.vcs)
 
     @property
     def vc_occupancy(self) -> float:
@@ -118,7 +123,7 @@ class InputPort:
 
     def accumulate_occupancy(self) -> None:
         """Record this cycle's occupancy into the window average."""
-        self.occupancy_sum += self.instantaneous_occupancy
+        self.occupancy_sum += self.occupied_vcs / len(self.vcs)
         self.occupancy_samples += 1
 
     @property
@@ -150,16 +155,28 @@ class InputPort:
         """Record the buffer write and store the flit."""
         vc.push(flit)
         self.buffer_writes += 1
+        self.buffered_flits += 1
+        if flit.is_head:
+            self.occupied_vcs += 1
+        router = self.router
+        if router is not None:
+            router.buffered_flits += 1
 
     def read_flit(self, vc: VirtualChannel) -> Flit:
         """Record the buffer read and return the head-of-line flit."""
         flit = vc.pop()
         self.buffer_reads += 1
+        self.buffered_flits -= 1
+        if flit.is_tail:
+            self.occupied_vcs -= 1
+        router = self.router
+        if router is not None:
+            router.buffered_flits -= 1
         return flit
 
     @property
     def total_buffered_flits(self) -> int:
-        return sum(len(vc.flits) for vc in self.vcs)
+        return self.buffered_flits
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -187,8 +204,21 @@ class Router:
         }
         for direction in topology.input_directions(node_id):
             self.input_ports[direction] = InputPort(direction, num_vcs, vc_depth)
+        for port in self.input_ports.values():
+            port.router = self
+        self.buffered_flits = 0
         self.packets_ejected = 0
         self.flits_ejected = 0
+        # Every priority rotation of the input ports, precomputed so the
+        # switch allocator does not rebuild the ordering list each cycle.
+        ports = list(self.input_ports.values())
+        self.port_rotations: list[list[InputPort]] = [
+            ports[offset:] + ports[:offset] for offset in range(len(ports))
+        ]
+        # Downstream input port per output direction; filled by MeshNetwork
+        # once all routers exist, so the allocator needs no per-cycle
+        # neighbor lookups.
+        self.down_ports: dict[Direction, InputPort] = {}
 
     # -- observables -------------------------------------------------------
     def port(self, direction: Direction) -> InputPort | None:
@@ -217,7 +247,7 @@ class Router:
 
     @property
     def total_buffered_flits(self) -> int:
-        return sum(port.total_buffered_flits for port in self.input_ports.values())
+        return self.buffered_flits
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Router(node={self.node_id}, ports={len(self.input_ports)})"

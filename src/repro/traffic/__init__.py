@@ -31,6 +31,7 @@ from repro.traffic.parsec import (
 from repro.traffic.flooding import FloodingAttacker, FloodingConfig
 from repro.traffic.scenario import (
     AttackScenario,
+    MultiAttackScenario,
     ScenarioGenerator,
     benchmark_names,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "SYNTHETIC_PATTERNS",
     "PARSEC_WORKLOADS",
     "AttackScenario",
+    "MultiAttackScenario",
     "BitComplementTraffic",
     "BitRotationTraffic",
     "FloodingAttacker",

@@ -110,21 +110,26 @@ class FloodingAttacker:
 
     # -- TrafficSource protocol -------------------------------------------------
     def packets_for_cycle(self, cycle: int) -> list[Packet]:
-        """Flooding packets injected by all attackers during ``cycle``."""
+        """Flooding packets injected by all attackers during ``cycle``.
+
+        All attackers draw from one vectorized RNG call — the stream is
+        identical to per-attacker scalar draws, so results are reproducible
+        across both paths, but multi-attacker floods cost one call per cycle.
+        """
         if not self.is_active_at(cycle):
             return []
-        packets = []
-        for attacker in self.config.attackers:
-            if self.rng.random() < self.config.fir:
-                packets.append(
-                    Packet(
-                        source=attacker,
-                        destination=self.config.victim,
-                        size_flits=self.config.packet_size_flits,
-                        created_cycle=cycle,
-                        is_malicious=True,
-                    )
-                )
+        draws = self.rng.random(len(self.config.attackers))
+        packets = [
+            Packet(
+                source=attacker,
+                destination=self.config.victim,
+                size_flits=self.config.packet_size_flits,
+                created_cycle=cycle,
+                is_malicious=True,
+            )
+            for attacker, draw in zip(self.config.attackers, draws)
+            if draw < self.config.fir
+        ]
         self.packets_generated += len(packets)
         return packets
 

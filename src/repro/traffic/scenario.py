@@ -8,7 +8,7 @@ the :class:`AttackScenario` description object plus a reproducible
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -18,7 +18,12 @@ from repro.traffic.flooding import FloodingAttacker, FloodingConfig
 from repro.traffic.parsec import PARSEC_WORKLOADS
 from repro.traffic.synthetic import SYNTHETIC_PATTERNS
 
-__all__ = ["AttackScenario", "ScenarioGenerator", "benchmark_names"]
+__all__ = [
+    "AttackScenario",
+    "MultiAttackScenario",
+    "ScenarioGenerator",
+    "benchmark_names",
+]
 
 
 def benchmark_names(include_parsec: bool = True) -> list[str]:
@@ -104,6 +109,96 @@ class AttackScenario:
         )
 
 
+@dataclass(frozen=True)
+class MultiAttackScenario:
+    """N simultaneous flooding flows aimed at pairwise-disjoint victims.
+
+    The paper handles multi-attacker cases through iterative sampling rounds:
+    quarantining the loudest localized attacker lets the next round's frames
+    reveal the rest (Figure 3's multi-attacker rules).  This object composes
+    independent :class:`AttackScenario` flows — each with its own victim —
+    into one concurrent threat, which is the distributed-DoS shape related
+    work (topology-aware NoC DDoS) identifies as the realistic model.
+
+    Attributes
+    ----------
+    flows:
+        The component single-victim scenarios running simultaneously.  Every
+        flow keeps its own FIR, so asymmetric ("loud + quiet") attacks are
+        expressible.
+    benchmark:
+        Benign workload the combined attack overlays; informational only.
+    """
+
+    flows: tuple[AttackScenario, ...]
+    benchmark: str = "uniform_random"
+
+    def __post_init__(self) -> None:
+        if not self.flows:
+            raise ValueError("a multi-attack scenario needs at least one flow")
+        victims = [flow.victim for flow in self.flows]
+        if len(set(victims)) != len(victims):
+            raise ValueError("flows must target pairwise-disjoint victims")
+        attackers: set[int] = set()
+        for flow in self.flows:
+            overlap = attackers.intersection(flow.attackers)
+            if overlap:
+                raise ValueError(f"attacker nodes {sorted(overlap)} appear in two flows")
+            attackers.update(flow.attackers)
+        if attackers.intersection(victims):
+            raise ValueError("an attacker of one flow cannot be a victim of another")
+
+    # -- aggregate views ----------------------------------------------------
+    @property
+    def attackers(self) -> tuple[int, ...]:
+        """All malicious node ids across flows, sorted."""
+        return tuple(sorted(a for flow in self.flows for a in flow.attackers))
+
+    @property
+    def victims(self) -> tuple[int, ...]:
+        """The target victim of every flow, sorted."""
+        return tuple(sorted(flow.victim for flow in self.flows))
+
+    @property
+    def num_attackers(self) -> int:
+        return sum(flow.num_attackers for flow in self.flows)
+
+    @property
+    def num_flows(self) -> int:
+        return len(self.flows)
+
+    def with_fir(self, fir: float) -> "MultiAttackScenario":
+        """Copy with every flow's FIR replaced."""
+        return MultiAttackScenario(
+            flows=tuple(replace(flow, fir=fir) for flow in self.flows),
+            benchmark=self.benchmark,
+        )
+
+    # -- simulation wiring ---------------------------------------------------
+    def attacker_sources(
+        self, topology: MeshTopology, seed: int = 0, **kwargs
+    ) -> list[FloodingAttacker]:
+        """One :class:`FloodingAttacker` per flow (independent RNG streams)."""
+        return [
+            flow.attacker_source(topology, seed=seed + index, **kwargs)
+            for index, flow in enumerate(self.flows)
+        ]
+
+    def ground_truth_victims(self, topology: MeshTopology) -> set[int]:
+        """Union of every flow's Routing-Path Victims plus target victims."""
+        victims: set[int] = set()
+        for flow in self.flows:
+            victims.update(flow.ground_truth_victims(topology))
+        return victims
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        flows = "; ".join(
+            f"{list(flow.attackers)}->{flow.victim}@{flow.fir:g}" for flow in self.flows
+        )
+        return f"{self.num_flows} concurrent flows [{flows}] on {self.benchmark}"
+
+
 class ScenarioGenerator:
     """Reproducible random generator of single/dual-attacker scenarios."""
 
@@ -142,6 +237,95 @@ class ScenarioGenerator:
                 attackers=attackers, victim=victim, fir=fir, benchmark=benchmark
             )
         raise RuntimeError("could not sample a valid scenario")  # pragma: no cover
+
+    def random_multi_scenario(
+        self,
+        num_flows: int = 2,
+        fir: float = 0.8,
+        benchmark: str = "uniform_random",
+        min_distance: int = 2,
+        min_victim_separation: int = 3,
+        attackers_per_flow: int = 1,
+    ) -> MultiAttackScenario:
+        """Draw ``num_flows`` concurrent flooding flows on disjoint victims.
+
+        Victims are kept at least ``min_victim_separation`` hops apart so the
+        flows congest different mesh regions, no node plays two roles
+        (attacker or victim) across flows, and no attacker sits on another
+        flow's XY route: an attacker inside the fused victim set is
+        geometrically indistinguishable from a route turning point, the one
+        single-window blind spot of the Table-Like Method.
+        """
+        if num_flows < 1:
+            raise ValueError("num_flows must be >= 1")
+        for _ in range(1000):
+            flows: list[AttackScenario] = []
+            used: set[int] = set()
+            victims: list[int] = []
+            for _flow in range(num_flows):
+                candidate = self._draw_flow(
+                    fir, benchmark, min_distance, attackers_per_flow, used, victims,
+                    min_victim_separation,
+                )
+                if candidate is None:
+                    break
+                flows.append(candidate)
+                used.update(candidate.attackers)
+                used.add(candidate.victim)
+                victims.append(candidate.victim)
+            if len(flows) == num_flows and not self._routes_cross_attackers(flows):
+                return MultiAttackScenario(flows=tuple(flows), benchmark=benchmark)
+        raise RuntimeError("could not sample a valid multi-attack scenario")
+
+    def _routes_cross_attackers(self, flows: list[AttackScenario]) -> bool:
+        """True when any attacker lies on another flow's routing path."""
+        attackers = {a for flow in flows for a in flow.attackers}
+        for flow in flows:
+            route = flow.ground_truth_victims(self.topology)
+            others = attackers.difference(flow.attackers)
+            if route.intersection(others):
+                return True
+        return False
+
+    def _draw_flow(
+        self,
+        fir: float,
+        benchmark: str,
+        min_distance: int,
+        attackers_per_flow: int,
+        used: set[int],
+        victims: list[int],
+        min_victim_separation: int,
+    ) -> AttackScenario | None:
+        """One attempt at drawing a flow avoiding ``used`` nodes."""
+        for _ in range(50):
+            victim = int(self.rng.integers(0, self.topology.num_nodes))
+            if victim in used:
+                continue
+            if any(
+                self.topology.manhattan_distance(victim, other) < min_victim_separation
+                for other in victims
+            ):
+                continue
+            candidates = [
+                node
+                for node in self.topology.nodes()
+                if node not in used
+                and node != victim
+                and self.topology.manhattan_distance(node, victim) >= min_distance
+            ]
+            if len(candidates) < attackers_per_flow:
+                continue
+            attackers = tuple(
+                int(a)
+                for a in self.rng.choice(
+                    candidates, size=attackers_per_flow, replace=False
+                )
+            )
+            return AttackScenario(
+                attackers=attackers, victim=victim, fir=fir, benchmark=benchmark
+            )
+        return None
 
     def scenario_suite(
         self,

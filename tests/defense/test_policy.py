@@ -37,6 +37,36 @@ class TestInjectionLimit:
         assert MitigationPolicy(action="quarantine", throttle_factor=0.5).injection_limit == 0.0
 
 
+class TestBackoffThresholds:
+    def test_first_engagement_uses_base_thresholds(self):
+        policy = MitigationPolicy(release_after=3, stale_after=2, reengage_backoff=2.0)
+        assert policy.release_threshold(1) == 3
+        assert policy.stale_threshold(1) == 2
+
+    def test_thresholds_double_per_reengagement(self):
+        policy = MitigationPolicy(release_after=3, stale_after=2, reengage_backoff=2.0)
+        assert [policy.release_threshold(k) for k in (1, 2, 3, 4)] == [3, 6, 12, 24]
+        assert [policy.stale_threshold(k) for k in (1, 2, 3)] == [2, 4, 8]
+
+    def test_unit_backoff_keeps_fixed_thresholds(self):
+        policy = MitigationPolicy(release_after=3, reengage_backoff=1.0)
+        assert policy.release_threshold(10) == 3
+
+    def test_fractional_backoff_rounds_up(self):
+        policy = MitigationPolicy(release_after=3, reengage_backoff=1.5)
+        assert policy.release_threshold(2) == 5  # ceil(3 * 1.5)
+
+    def test_backoff_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            MitigationPolicy(reengage_backoff=0.5)
+
+    def test_max_engaged_nodes_validated(self):
+        with pytest.raises(ValueError):
+            MitigationPolicy(max_engaged_nodes=0)
+        assert MitigationPolicy(max_engaged_nodes=4).max_engaged_nodes == 4
+        assert MitigationPolicy().max_engaged_nodes is None
+
+
 class TestNames:
     def test_throttle_name_includes_factor(self):
         assert MitigationPolicy.throttle(0.1).name == "throttle@0.1"

@@ -181,6 +181,86 @@ class TestHeadlineMetrics:
         assert math.isnan(report.recovery_ratio(0.0))
 
 
+class TestPerAttackerMetrics:
+    """Multi-attack accounting: per-attacker latencies and containment."""
+
+    def make_multi_report(self):
+        report = make_report(attack_start=200, true_attackers=(5, 9))
+        report.windows = [
+            WindowRecord(index=0, cycle=100, detected=False, probability=0.1,
+                         phase="benign"),
+            WindowRecord(index=1, cycle=200, detected=True, probability=0.9,
+                         phase="attack", attackers=(5,)),
+            WindowRecord(index=2, cycle=300, detected=True, probability=0.9,
+                         phase="attack", attackers=(5,), restricted=(5,)),
+            WindowRecord(index=3, cycle=400, detected=True, probability=0.9,
+                         phase="mitigated", attackers=(9,), restricted=(5,)),
+            WindowRecord(index=4, cycle=500, detected=True, probability=0.9,
+                         phase="mitigated", attackers=(9,), restricted=(5, 9)),
+        ]
+        report.events = [
+            DefenseEvent(cycle=200, kind="detected"),
+            DefenseEvent(cycle=300, kind="engaged", nodes=(5,), round=1),
+            DefenseEvent(cycle=500, kind="engaged", nodes=(9,), round=2),
+        ]
+        return report
+
+    def test_per_attacker_detection_latency(self):
+        report = self.make_multi_report()
+        assert report.per_attacker_detection_latency() == {5: 0, 9: 200}
+
+    def test_per_attacker_time_to_mitigation(self):
+        report = self.make_multi_report()
+        assert report.per_attacker_time_to_mitigation() == {5: 100, 9: 300}
+
+    def test_containment_requires_all_attackers(self):
+        report = self.make_multi_report()
+        assert report.containment_cycle == 500
+        assert report.time_to_full_containment == 300
+
+    def test_containment_none_until_all_fenced(self):
+        report = self.make_multi_report()
+        report.windows = report.windows[:4]  # 9 never restricted
+        assert report.containment_cycle is None
+        assert report.time_to_full_containment is None
+
+    def test_localization_rounds_and_engage_counts(self):
+        report = self.make_multi_report()
+        assert report.localization_rounds == 2
+        assert report.engage_counts() == {5: 1, 9: 1}
+        assert report.reengagements == 0
+        report.events.append(DefenseEvent(cycle=600, kind="engaged", nodes=(5,)))
+        assert report.reengagements == 1
+
+    def test_unlocalized_attacker_reports_none(self):
+        report = self.make_multi_report()
+        report.true_attackers = (5, 9, 31)
+        latencies = report.per_attacker_detection_latency()
+        assert latencies[31] is None
+
+
+class TestAsDict:
+    def test_round_trips_all_sections(self):
+        report = TestPerAttackerMetrics().make_multi_report()
+        data = report.as_dict()
+        assert set(data) >= {
+            "policy", "windows", "events", "summary",
+            "per_attacker_detection_latency", "per_attacker_time_to_mitigation",
+        }
+        assert data["policy"]["reengage_backoff"] == report.policy.reengage_backoff
+        assert len(data["windows"]) == len(report.windows)
+        assert data["events"][1]["round"] == 1
+        assert data["per_attacker_detection_latency"] == {"5": 0, "9": 200}
+
+    def test_nan_scrubbed_for_equality(self):
+        """Two identical reports must compare equal — NaN would break that."""
+        a = TestPerAttackerMetrics().make_multi_report()
+        b = TestPerAttackerMetrics().make_multi_report()
+        assert a.as_dict() == b.as_dict()
+        flat = repr(a.as_dict())
+        assert "nan" not in flat
+
+
 class TestRendering:
     def test_summary_keys(self):
         summary = make_report().summary()

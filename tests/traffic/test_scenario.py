@@ -6,7 +6,12 @@ from hypothesis import strategies as st
 
 from repro.noc.routing import xy_route_victims
 from repro.noc.topology import MeshTopology
-from repro.traffic.scenario import AttackScenario, ScenarioGenerator, benchmark_names
+from repro.traffic.scenario import (
+    AttackScenario,
+    MultiAttackScenario,
+    ScenarioGenerator,
+    benchmark_names,
+)
 
 TOPO = MeshTopology(rows=8)
 
@@ -110,3 +115,113 @@ class TestScenarioGenerator:
         assert scenario.victim not in scenario.attackers
         assert len(set(scenario.attackers)) == 2
         assert all(node in TOPO for node in scenario.attackers)
+
+
+class TestMultiAttackScenario:
+    def flows(self):
+        return (
+            AttackScenario(attackers=(62,), victim=9, fir=0.8),
+            AttackScenario(attackers=(7,), victim=54, fir=0.4),
+        )
+
+    def test_aggregate_views(self):
+        scenario = MultiAttackScenario(flows=self.flows())
+        assert scenario.attackers == (7, 62)
+        assert scenario.victims == (9, 54)
+        assert scenario.num_attackers == 2
+        assert scenario.num_flows == 2
+
+    def test_duplicate_victims_rejected(self):
+        with pytest.raises(ValueError):
+            MultiAttackScenario(
+                flows=(
+                    AttackScenario(attackers=(62,), victim=9),
+                    AttackScenario(attackers=(7,), victim=9),
+                )
+            )
+
+    def test_shared_attacker_rejected(self):
+        with pytest.raises(ValueError):
+            MultiAttackScenario(
+                flows=(
+                    AttackScenario(attackers=(62,), victim=9),
+                    AttackScenario(attackers=(62,), victim=54),
+                )
+            )
+
+    def test_attacker_as_other_flows_victim_rejected(self):
+        with pytest.raises(ValueError):
+            MultiAttackScenario(
+                flows=(
+                    AttackScenario(attackers=(62,), victim=9),
+                    AttackScenario(attackers=(9,), victim=54),
+                )
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MultiAttackScenario(flows=())
+
+    def test_with_fir_overrides_every_flow(self):
+        scenario = MultiAttackScenario(flows=self.flows()).with_fir(0.6)
+        assert all(flow.fir == 0.6 for flow in scenario.flows)
+
+    def test_attacker_sources_one_per_flow(self):
+        scenario = MultiAttackScenario(flows=self.flows())
+        sources = scenario.attacker_sources(TOPO, seed=3, start_cycle=100)
+        assert [s.config.attackers for s in sources] == [(62,), (7,)]
+        assert all(s.config.start_cycle == 100 for s in sources)
+        # independent RNG streams per flow
+        assert sources[0].rng is not sources[1].rng
+
+    def test_ground_truth_union(self):
+        scenario = MultiAttackScenario(flows=self.flows())
+        union = scenario.ground_truth_victims(TOPO)
+        for flow in scenario.flows:
+            assert flow.ground_truth_victims(TOPO) <= union
+
+    def test_describe_mentions_every_flow(self):
+        text = MultiAttackScenario(flows=self.flows()).describe()
+        assert "62" in text and "54" in text
+
+
+class TestRandomMultiScenario:
+    def test_flows_are_node_disjoint(self):
+        generator = ScenarioGenerator(TOPO, seed=4)
+        scenario = generator.random_multi_scenario(num_flows=3)
+        roles = list(scenario.attackers) + list(scenario.victims)
+        assert len(roles) == len(set(roles))
+
+    def test_no_attacker_on_another_flows_route(self):
+        generator = ScenarioGenerator(TOPO, seed=4)
+        for _ in range(20):
+            scenario = generator.random_multi_scenario(num_flows=2)
+            for flow in scenario.flows:
+                others = set(scenario.attackers) - set(flow.attackers)
+                assert not flow.ground_truth_victims(TOPO) & others
+
+    def test_victim_separation_honoured(self):
+        generator = ScenarioGenerator(TOPO, seed=5)
+        scenario = generator.random_multi_scenario(
+            num_flows=2, min_victim_separation=4
+        )
+        v1, v2 = scenario.victims
+        assert TOPO.manhattan_distance(v1, v2) >= 4
+
+    def test_same_seed_same_scenario(self):
+        a = ScenarioGenerator(TOPO, seed=11).random_multi_scenario(num_flows=2)
+        b = ScenarioGenerator(TOPO, seed=11).random_multi_scenario(num_flows=2)
+        assert a == b
+
+    def test_invalid_flow_count(self):
+        with pytest.raises(ValueError):
+            ScenarioGenerator(TOPO, seed=0).random_multi_scenario(num_flows=0)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_generated_multi_scenarios_always_valid(self, seed):
+        generator = ScenarioGenerator(TOPO, seed=seed)
+        scenario = generator.random_multi_scenario(num_flows=2)
+        assert scenario.num_flows == 2
+        assert len(set(scenario.victims)) == 2
+        assert not set(scenario.attackers) & set(scenario.victims)
