@@ -14,7 +14,7 @@ the guard's iterative localization rounds.
 
 from repro.defense.policy import MitigationPolicy
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.mitigation import run_mitigation_sweep
+from repro.experiments.mitigation import ASYMMETRIC_FLOW_FIRS, run_mitigation_sweep
 from repro.experiments.tables import format_rows
 
 from bench_utils import run_once, write_result
@@ -76,6 +76,52 @@ def test_fig6_mitigation_recovery(benchmark, experiment_config):
         assert point.recovery_ratio < 1.4
         if point.policy == "quarantine":
             assert point.recovery_ratio < 1.25
+
+
+def test_fig6_asymmetric_multi_attack(benchmark, experiment_config):
+    """Loud + quiet concurrent floods: per-flow FIRs 0.8 / 0.2.
+
+    The asymmetric threat model the scenario objects always supported, now
+    swept end to end: the loud flow dominates the congestion signature, so
+    the guard must still fence it promptly, and a fence on the loud flow must
+    translate into recovery even while the quiet flow keeps trickling.
+    """
+    points = run_once(
+        benchmark,
+        run_mitigation_sweep,
+        firs=(0.8,),
+        rows_values=(experiment_config.rows,),
+        policies=MULTI_ATTACK_POLICIES,
+        config=experiment_config,
+        num_flows=2,
+        flow_fir_profile=ASYMMETRIC_FLOW_FIRS,
+    )
+
+    rows = [point.as_dict() for point in points]
+    per_attacker = "\n".join(
+        f"{point.policy}: per-attacker detection latency "
+        f"{point.per_attacker_detection_latency}, "
+        f"fenced {point.attackers_fenced}/{point.num_attackers}, "
+        f"recovery {point.recovery_ratio:.2f}x"
+        for point in points
+    )
+    summary = (
+        f"\nmesh: {experiment_config.rows}x{experiment_config.rows}, "
+        f"benign workload: uniform_random, 2 concurrent attackers with "
+        f"asymmetric FIRs {ASYMMETRIC_FLOW_FIRS[0]}/{ASYMMETRIC_FLOW_FIRS[1]}\n"
+        + per_attacker
+    )
+    write_result("fig6_asymmetric_multi_attack", format_rows(rows) + summary)
+
+    for point in points:
+        assert point.flow_firs == ASYMMETRIC_FLOW_FIRS
+        assert point.num_attackers == 2
+        # The loud flow must be caught and fenced...
+        assert point.detected
+        assert point.attackers_fenced >= 1
+        assert point.time_to_mitigation is not None
+        # ...and fencing it must beat doing nothing.
+        assert point.mitigated_latency < point.unmitigated_latency
 
 
 def test_fig6_multi_attack_16x16_parsec(benchmark):

@@ -11,7 +11,7 @@ import time
 import numpy as np
 import pytest
 
-from bench_utils import write_result
+from bench_utils import write_json_result, write_result
 
 from repro.core.detector import build_detector_model
 from repro.core.localizer import DoSProfileLocalizer, build_localizer_model
@@ -97,6 +97,16 @@ def test_simulator_step_cost_recorded():
         f"per-cycle cost: {elapsed * 1e3 / cycles:8.3f} ms/cycle\n"
         f"total         : {elapsed:8.2f} s",
     )
+    write_json_result(
+        "micro_simulator_step_16x16",
+        {
+            "mesh_rows": 16,
+            "workload": "uniform_random 0.02 + FIR-0.8 flood",
+            "cycles": cycles,
+            "ms_per_cycle": elapsed * 1e3 / cycles,
+            "total_seconds": elapsed,
+        },
+    )
     # Regression gate with a wide margin over the measured ~0.8 ms/cycle;
     # the pre-optimization simulator sat at ~14 ms/cycle.
     assert elapsed / cycles < 0.008
@@ -175,9 +185,72 @@ def test_localizer_batching_speedup_recorded():
         f"batched forward    : {batched_time * 1e3 / rounds:8.3f} ms/sample\n"
         f"speedup            : {speedup:8.2f}x",
     )
+    write_json_result(
+        "micro_localizer_batching",
+        {
+            "mesh_rows": 16,
+            "rounds": rounds,
+            "loop_ms_per_sample": loop_time * 1e3 / rounds,
+            "batched_ms_per_sample": batched_time * 1e3 / rounds,
+            "speedup": speedup,
+        },
+    )
     # No wall-clock assertion: timings on shared runners are too noisy to
     # gate on.  The recorded speedup makes regressions visible; the
     # equivalence assertions above are the correctness gate.
+
+
+def test_nn_dtype_speedup_recorded():
+    """float32 training steps must not be slower than float64, recorded.
+
+    The engine's float32 fast path (dtype-parameterized layers + reused
+    im2col GEMM buffers) is what makes retraining cheap at the 16x16 scale;
+    this records the per-step cost under both dtypes so the speedup is
+    tracked alongside the other micro numbers.
+    """
+    from repro.nn import Adam, BinaryCrossEntropy, use_dtype
+
+    rng = np.random.default_rng(0)
+    x = rng.random((64, 16, 15, 4))
+    y = rng.integers(0, 2, size=(64, 1)).astype(float)
+    steps = 30
+    timings = {}
+    for dtype in ("float64", "float32"):
+        with use_dtype(dtype):
+            model = build_detector_model((16, 15, 4))
+        loss = BinaryCrossEntropy()
+        optimizer = Adam(learning_rate=0.005)
+        xt = x.astype(model.dtype)
+        yt = y.astype(model.dtype)
+        model.forward(xt, training=True)  # warm up buffers
+        start = time.perf_counter()
+        for _ in range(steps):
+            predictions = model.forward(xt, training=True)
+            loss.forward(predictions, yt)
+            model.backward(loss.backward(predictions, yt))
+            optimizer.step(model.layers)
+        timings[dtype] = (time.perf_counter() - start) / steps
+    speedup = timings["float64"] / max(timings["float32"], 1e-12)
+    write_result(
+        "micro_nn_dtype",
+        f"16x16 detector, batch 64, {steps} training steps per dtype\n"
+        f"float64 step: {timings['float64'] * 1e3:8.3f} ms\n"
+        f"float32 step: {timings['float32'] * 1e3:8.3f} ms\n"
+        f"speedup     : {speedup:8.2f}x",
+    )
+    write_json_result(
+        "micro_nn_dtype",
+        {
+            "mesh_rows": 16,
+            "batch": 64,
+            "steps": steps,
+            "float64_ms_per_step": timings["float64"] * 1e3,
+            "float32_ms_per_step": timings["float32"] * 1e3,
+            "speedup": speedup,
+        },
+    )
+    # No wall-clock gate (shared runners are noisy); the recorded numbers
+    # make a fast-path regression visible.
 
 
 def test_detector_training_step_8x8(benchmark):

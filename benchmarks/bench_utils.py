@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -18,6 +19,18 @@ def write_result(name: str, text: str) -> Path:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n=== {name} ===\n{text}\n")
+    return path
+
+
+def write_json_result(name: str, payload: dict) -> Path:
+    """Persist a machine-readable result next to its ``.txt`` rendering.
+
+    Perf-tracking tooling (``run_perf_suite.py``, future BENCH trajectory
+    jobs) consumes these instead of parsing the human-oriented tables.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 
 

@@ -1,0 +1,209 @@
+"""End-to-end wall-clock harness for the figure/table experiment suite.
+
+Runs the expensive experiment drivers (Tables 1-4, the Figure-1 latency
+sweep and the Figure-6 mitigation sweep) under four engine modes and records
+the timings in ``benchmarks/results/perf_summary.json`` (+ a rendered
+``.txt``) so the suite's performance trajectory is machine-readable:
+
+* ``baseline``       — the pre-engine behaviour: no cache, serial, float64 NN;
+* ``cold_serial``    — float32 fast path + fresh cache, one worker;
+* ``cold_parallel``  — float32 fast path + fresh cache, ``--workers`` workers;
+* ``warm``           — same cache as ``cold_parallel``, everything memoised.
+
+Within a *cold* run the cache already pays for itself: Tables 1-3 share their
+simulated scenario runs (the monitor captures VCO and BOC in one pass), so
+the suite simulates them once instead of three times.  A *warm* run is pure
+artifact I/O — no simulation, no training.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_perf_suite.py [--workers N] [--skip-baseline]
+
+The experiment scale honours the usual ``REPRO_*`` environment variables
+(defaults: 8x8 mesh, 200-cycle windows).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from bench_utils import RESULTS_DIR
+
+from repro.defense.policy import MitigationPolicy
+from repro.experiments.comparison import run_comparison
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.detection import run_feature_experiment
+from repro.experiments.latency_sweep import run_latency_sweep
+from repro.experiments.mitigation import run_mitigation_sweep
+from repro.experiments.tables import format_rows
+from repro.monitor.features import FeatureKind
+from repro.nn.dtype import use_dtype
+from repro.runtime.cache import ArtifactCache
+from repro.runtime.engine import ExperimentEngine
+from repro.runtime.parallel import ParallelRunner
+
+FIG1_FIRS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+FIG6_FIRS = (0.4, 0.8)
+
+
+def suite(config: ExperimentConfig, engine: ExperimentEngine) -> dict[str, float]:
+    """Run every suite experiment once; returns per-experiment seconds."""
+    experiments = {
+        "table1_vco": lambda: run_feature_experiment(
+            FeatureKind.VCO, FeatureKind.VCO, config=config, engine=engine
+        ),
+        "table2_boc": lambda: run_feature_experiment(
+            FeatureKind.BOC, FeatureKind.BOC, config=config, engine=engine
+        ),
+        "table3_vco_boc": lambda: run_feature_experiment(
+            FeatureKind.VCO, FeatureKind.BOC, config=config, engine=engine
+        ),
+        "table4_comparison": lambda: run_comparison(config=config, engine=engine),
+        "fig1_latency_sweep": lambda: run_latency_sweep(
+            firs=FIG1_FIRS,
+            benchmark="blackscholes",
+            config=config.scaled(samples_per_run=4),
+            num_attackers=2,
+            engine=engine,
+        ),
+        "fig6_mitigation_sweep": lambda: run_mitigation_sweep(
+            firs=FIG6_FIRS,
+            rows_values=(config.rows,),
+            config=config,
+            engine=engine,
+        ),
+    }
+    timings: dict[str, float] = {}
+    for name, run in experiments.items():
+        start = time.perf_counter()
+        run()
+        timings[name] = time.perf_counter() - start
+        print(f"    {name:<22} {timings[name]:7.2f} s", flush=True)
+    return timings
+
+
+def run_modes(config: ExperimentConfig, workers: int, skip_baseline: bool) -> dict:
+    modes: dict[str, dict] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-perf-cache-") as cache_root:
+        plans: list[tuple[str, ExperimentEngine, str]] = []
+        if not skip_baseline:
+            plans.append(("baseline", ExperimentEngine.disabled(), "float64"))
+        shared_root = Path(cache_root) / "parallel"
+        plans.extend(
+            [
+                (
+                    "cold_serial",
+                    ExperimentEngine(
+                        ArtifactCache(root=Path(cache_root) / "serial", enabled=True),
+                        ParallelRunner(workers=1),
+                    ),
+                    "float32",
+                ),
+                (
+                    "cold_parallel",
+                    ExperimentEngine(
+                        ArtifactCache(root=shared_root, enabled=True),
+                        ParallelRunner(workers=workers),
+                    ),
+                    "float32",
+                ),
+                # Same cache *root* as cold_parallel but a fresh ArtifactCache
+                # object, so the recorded cache_stats cover only this mode.
+                (
+                    "warm",
+                    ExperimentEngine(
+                        ArtifactCache(root=shared_root, enabled=True),
+                        ParallelRunner(workers=workers),
+                    ),
+                    "float32",
+                ),
+            ]
+        )
+        for mode, engine, dtype in plans:
+            print(f"== {mode} (dtype={dtype}, workers={engine.runner.workers}) ==")
+            with use_dtype(dtype):
+                timings = suite(config, engine)
+            modes[mode] = {
+                "dtype": dtype,
+                "workers": engine.runner.workers,
+                "cache_enabled": engine.cache.enabled,
+                "experiments": timings,
+                "total_seconds": sum(timings.values()),
+                "cache_stats": engine.cache.stats.as_dict(),
+            }
+    return modes
+
+
+def main(argv: list[str] | None = None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--skip-baseline",
+        action="store_true",
+        help="skip the slow pre-engine reference run",
+    )
+    args = parser.parse_args(argv)
+
+    config = ExperimentConfig.from_environment()
+    modes = run_modes(config, args.workers, args.skip_baseline)
+
+    summary = {
+        "config": {
+            "rows": config.rows,
+            "sample_period": config.sample_period,
+            "samples_per_run": config.samples_per_run,
+            "scenarios_per_benchmark": config.scenarios_per_benchmark,
+            "detector_epochs": config.detector_epochs,
+            "localizer_epochs": config.localizer_epochs,
+            "seed": config.seed,
+        },
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "modes": modes,
+    }
+    if "baseline" in modes:
+        baseline_total = modes["baseline"]["total_seconds"]
+        summary["speedup_vs_baseline"] = {
+            mode: baseline_total / data["total_seconds"]
+            for mode, data in modes.items()
+            if mode != "baseline"
+        }
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    json_path = RESULTS_DIR / "perf_summary.json"
+    json_path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+
+    rows = [
+        {
+            "mode": mode,
+            "dtype": data["dtype"],
+            "workers": data["workers"],
+            **{name: data["experiments"][name] for name in data["experiments"]},
+            "total_s": data["total_seconds"],
+            "speedup": summary.get("speedup_vs_baseline", {}).get(mode),
+        }
+        for mode, data in modes.items()
+    ]
+    text = (
+        f"Figure/table suite wall-clock, {config.rows}x{config.rows} mesh, "
+        f"sample_period={config.sample_period}\n" + format_rows(rows)
+    )
+    (RESULTS_DIR / "perf_summary.txt").write_text(text + "\n")
+    print(f"\n{text}\nwritten: {json_path}")
+    return summary
+
+
+if __name__ == "__main__":
+    main()

@@ -150,7 +150,7 @@ class DoSDetector:
     # -- inference -------------------------------------------------------------
     def predict_proba(self, inputs: np.ndarray) -> np.ndarray:
         """Attack probability for a batch of (H, W, 4) frame stacks."""
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = np.asarray(inputs, dtype=self.model.dtype)
         if inputs.ndim == 3:
             inputs = inputs[None, ...]
         return self.model.predict(inputs).reshape(-1)

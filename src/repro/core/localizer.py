@@ -131,7 +131,7 @@ class DoSProfileLocalizer:
     # -- inference -------------------------------------------------------------
     def predict_masks(self, inputs: np.ndarray) -> np.ndarray:
         """Per-pixel probabilities for a batch of (H, W, 1) directional frames."""
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = np.asarray(inputs, dtype=self.model.dtype)
         if inputs.ndim == 3:
             inputs = inputs[None, ...]
         return self.model.predict(inputs)

@@ -15,8 +15,9 @@ from repro.experiments.config import ExperimentConfig
 from repro.monitor.dataset import DatasetBuilder
 from repro.noc.simulator import NoCSimulator
 from repro.noc.topology import MeshTopology
+from repro.runtime.engine import ExperimentEngine
 from repro.traffic.flooding import FloodingAttacker, FloodingConfig
-from repro.traffic.scenario import ScenarioGenerator
+from repro.traffic.scenario import AttackScenario, ScenarioGenerator
 
 __all__ = ["LatencyPoint", "run_latency_sweep"]
 
@@ -45,18 +46,66 @@ class LatencyPoint:
         }
 
 
+@dataclass(frozen=True)
+class _LatencyTask:
+    """One FIR operating point of the sweep (independent simulation)."""
+
+    config: ExperimentConfig
+    benchmark: str
+    scenario: AttackScenario
+    fir: float
+    cycles: int
+
+
+def _latency_point(task: _LatencyTask) -> LatencyPoint:
+    """Simulate one sweep point (module-level for the parallel runner)."""
+    config = task.config
+    builder = DatasetBuilder(config.dataset_config())
+    simulation_config = replace(
+        config.dataset_config().simulation_config(), source_queue_capacity=200_000
+    )
+    simulator = NoCSimulator(simulation_config)
+    simulator.add_source(builder.make_workload(task.benchmark, seed=config.seed))
+    if task.fir > 0.0:
+        attacker = FloodingAttacker(
+            FloodingConfig(
+                attackers=task.scenario.attackers,
+                victim=task.scenario.victim,
+                fir=task.fir,
+            ),
+            builder.topology,
+            seed=config.seed + 1,
+        )
+        simulator.add_source(attacker)
+    simulator.run(task.cycles)
+    simulator.drain(max_cycles=12 * task.cycles)
+    latency = simulator.latency(benign_only=True)
+    return LatencyPoint(
+        fir=task.fir,
+        packet_latency=latency.packet_latency,
+        packet_queue_latency=latency.packet_queue_latency,
+        flit_latency=latency.flit_latency,
+        flit_queue_latency=latency.flit_queue_latency,
+        delivery_ratio=simulator.stats.delivery_ratio,
+        delivered_packets=latency.delivered_packets,
+    )
+
+
 def run_latency_sweep(
     firs: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
     benchmark: str = "blackscholes",
     config: ExperimentConfig | None = None,
     cycles: int | None = None,
     num_attackers: int = 1,
+    engine: ExperimentEngine | None = None,
 ) -> list[LatencyPoint]:
     """Sweep the FIR and measure benign-traffic latency at each point.
 
     The benign workload, attacker placement and measurement window are held
     constant across the sweep; only the FIR changes, mirroring the
-    latency-vs-FIR curve of Figure 1.
+    latency-vs-FIR curve of Figure 1.  Every operating point is an
+    independent simulation, so the sweep fans out across the engine's worker
+    processes and the finished curve is cached as a record artifact.
 
     Source queues are made effectively unbounded for this experiment: in the
     paper's threat model the benign application is never paused, only slowed
@@ -65,6 +114,7 @@ def run_latency_sweep(
     "packet queue latency" curve of Figure 1.
     """
     config = config or ExperimentConfig()
+    engine = engine or ExperimentEngine.from_environment()
     if cycles is None:
         cycles = config.warmup_cycles + config.sample_period * config.samples_per_run
     topology = MeshTopology(rows=config.rows)
@@ -72,36 +122,20 @@ def run_latency_sweep(
     scenario = generator.random_scenario(
         num_attackers=num_attackers, fir=1.0, benchmark=benchmark
     )
-    builder = DatasetBuilder(config.dataset_config())
-    simulation_config = replace(
-        config.dataset_config().simulation_config(), source_queue_capacity=200_000
-    )
 
-    points = []
-    for fir in firs:
-        simulator = NoCSimulator(simulation_config)
-        simulator.add_source(builder.make_workload(benchmark, seed=config.seed))
-        if fir > 0.0:
-            attacker = FloodingAttacker(
-                FloodingConfig(
-                    attackers=scenario.attackers, victim=scenario.victim, fir=fir
-                ),
-                topology,
-                seed=config.seed + 1,
-            )
-            simulator.add_source(attacker)
-        simulator.run(cycles)
-        simulator.drain(max_cycles=12 * cycles)
-        latency = simulator.latency(benign_only=True)
-        points.append(
-            LatencyPoint(
-                fir=fir,
-                packet_latency=latency.packet_latency,
-                packet_queue_latency=latency.packet_queue_latency,
-                flit_latency=latency.flit_latency,
-                flit_queue_latency=latency.flit_queue_latency,
-                delivery_ratio=simulator.stats.delivery_ratio,
-                delivered_packets=latency.delivered_packets,
-            )
-        )
-    return points
+    payload = {
+        "experiment": config,
+        "benchmark": benchmark,
+        "firs": tuple(firs),
+        "cycles": cycles,
+        "scenario": scenario,
+    }
+
+    def build() -> list[dict]:
+        tasks = [
+            _LatencyTask(config, benchmark, scenario, fir, cycles) for fir in firs
+        ]
+        return [point.as_dict() for point in engine.runner.map(_latency_point, tasks)]
+
+    records = engine.cached_records("latency-sweep", payload, build)
+    return [LatencyPoint(**record) for record in records]

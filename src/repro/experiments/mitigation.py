@@ -18,6 +18,7 @@ PARSEC workloads (see :mod:`benchmarks.bench_fig6_mitigation_recovery`).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field, replace
 
 from repro.core.config import DL2FenceConfig
@@ -26,14 +27,17 @@ from repro.defense.guard import DL2FenceGuard
 from repro.defense.policy import MitigationPolicy
 from repro.defense.report import DefenseReport
 from repro.experiments.config import ExperimentConfig
-from repro.monitor.dataset import DatasetBuilder
+from repro.monitor.dataset import DatasetBuilder, DatasetConfig
 from repro.monitor.sampler import MonitorConfig
+from repro.nn.dtype import default_dtype
 from repro.noc.simulator import NoCSimulator
 from repro.noc.stats import LatencyStats
+from repro.runtime.engine import ExperimentEngine
 from repro.traffic.flooding import FloodingAttacker, FloodingConfig
 from repro.traffic.scenario import AttackScenario, MultiAttackScenario
 
 __all__ = [
+    "ASYMMETRIC_FLOW_FIRS",
     "MitigationPoint",
     "baseline_benign_latency",
     "default_multi_scenario",
@@ -48,6 +52,11 @@ DEFAULT_POLICIES = (
     MitigationPolicy.throttle(0.1, engage_after=2, release_after=6, flush_queue=True),
     MitigationPolicy.quarantine(engage_after=2, release_after=6, flush_queue=True),
 )
+
+#: Default loud + quiet relative FIR profile for asymmetric multi-attack
+#: sweeps: at a swept FIR of 0.8 the two flows flood at 0.8 and 0.2.  The
+#: profile is normalised so its maximum maps onto the swept FIR value.
+ASYMMETRIC_FLOW_FIRS = (0.8, 0.2)
 
 
 @dataclass
@@ -75,10 +84,12 @@ class MitigationPoint:
     localization_rounds: int = 0
     reengagements: int = 0
     per_attacker_detection_latency: dict = field(default_factory=dict)
+    flow_firs: tuple[float, ...] = ()
 
     def as_dict(self) -> dict:
         return {
             "fir": self.fir,
+            "flow_firs": "/".join(f"{fir:g}" for fir in self.flow_firs) or None,
             "rows": self.rows,
             "benchmark": self.benchmark,
             "policy": self.policy,
@@ -100,26 +111,51 @@ class MitigationPoint:
             "collateral_node_windows": self.collateral_node_windows,
         }
 
+    # -- lossless round-trip (artifact cache) -------------------------------
+    def to_payload(self) -> dict:
+        """Full-fidelity dict (unlike :meth:`as_dict`, which is a table view)."""
+        payload = dataclasses.asdict(self)
+        payload["per_attacker_detection_latency"] = {
+            str(node): value
+            for node, value in self.per_attacker_detection_latency.items()
+        }
+        return payload
+
+    @classmethod
+    def from_payload(cls, data: dict) -> "MitigationPoint":
+        """Inverse of :meth:`to_payload` (restores tuples and int keys)."""
+        data = dict(data)
+        for name in ("engaged_nodes", "collateral_nodes"):
+            data[name] = tuple(int(node) for node in data[name])
+        data["flow_firs"] = tuple(float(fir) for fir in data.get("flow_firs", ()))
+        data["per_attacker_detection_latency"] = {
+            int(node): value
+            for node, value in data["per_attacker_detection_latency"].items()
+        }
+        return cls(**data)
+
 
 def train_defense_pipeline(
     config: ExperimentConfig,
     benchmarks: tuple[str, ...] = ("uniform_random", "tornado"),
+    engine: ExperimentEngine | None = None,
 ) -> tuple[DL2Fence, DatasetBuilder]:
-    """Train a DL2Fence pipeline at this experiment scale (once per mesh)."""
-    builder = DatasetBuilder(config.dataset_config())
-    runs = builder.build_runs(
+    """Train a DL2Fence pipeline at this experiment scale (once per mesh).
+
+    Routed through the experiment engine: the scenario runs and the trained
+    models are cached on disk, so a second sweep at the same mesh scale never
+    retrains.
+    """
+    engine = engine or ExperimentEngine.from_environment()
+    return engine.trained_fence(
+        config.dataset_config(),
+        DL2FenceConfig(seed=config.seed),
         benchmarks=list(benchmarks),
         scenarios_per_benchmark=config.scenarios_per_benchmark,
         seed=config.seed,
-    )
-    fence = DL2Fence(builder.topology, DL2FenceConfig(seed=config.seed))
-    fence.fit_from_runs(
-        builder,
-        runs,
         detector_epochs=config.detector_epochs,
         localizer_epochs=config.localizer_epochs,
     )
-    return fence, builder
 
 
 def _default_scenario(builder: DatasetBuilder, fir: float) -> AttackScenario:
@@ -166,12 +202,31 @@ def default_multi_scenario(
 
 
 def _scenario_with_fir(
-    scenario: AttackScenario | MultiAttackScenario, fir: float
+    scenario: AttackScenario | MultiAttackScenario,
+    fir: float,
+    flow_fir_profile: tuple[float, ...] | None = None,
 ) -> AttackScenario | MultiAttackScenario:
-    """Uniformly override the FIR of a single- or multi-attack scenario."""
+    """Override the FIR of a single- or multi-attack scenario.
+
+    Without a profile the override is uniform.  With a profile (multi-attack
+    only) the profile is normalised so its loudest flow floods at ``fir`` and
+    the others keep their relative quietness — e.g. profile ``(0.8, 0.2)`` at
+    ``fir=0.8`` yields per-flow FIRs ``(0.8, 0.2)``.
+    """
     if isinstance(scenario, MultiAttackScenario):
+        if flow_fir_profile:
+            return scenario.with_firs(scaled_flow_firs(flow_fir_profile, fir))
         return scenario.with_fir(fir)
     return replace(scenario, fir=fir)
+
+
+def scaled_flow_firs(profile: tuple[float, ...], fir: float) -> tuple[float, ...]:
+    """Per-flow FIRs: ``profile`` rescaled so its maximum equals ``fir``."""
+    loudest = max(profile)
+    if loudest <= 0.0:
+        raise ValueError("flow FIR profile needs at least one positive entry")
+    # Ratio first: the loudest flow lands *exactly* on the swept FIR value.
+    return tuple(min(1.0, fir * (value / loudest)) for value in profile)
 
 
 @dataclass(frozen=True)
@@ -199,15 +254,17 @@ def _attacked_simulator(
     builder: DatasetBuilder,
     benchmark: str,
     scenario: AttackScenario | MultiAttackScenario,
-    fir: float,
     shape: _EpisodeShape,
     seed: int,
 ) -> NoCSimulator:
-    """The defended run's system under attack (identical for all comparators)."""
+    """The defended run's system under attack (identical for all comparators).
+
+    ``scenario`` carries its final per-flow FIRs; callers apply
+    :func:`_scenario_with_fir` before building the simulator.
+    """
     config = builder.config
     simulator = NoCSimulator(config.simulation_config())
     simulator.add_source(builder.make_workload(benchmark, seed=seed))
-    scenario = _scenario_with_fir(scenario, fir)
     if isinstance(scenario, MultiAttackScenario):
         for source in scenario.attacker_sources(
             builder.topology,
@@ -223,7 +280,7 @@ def _attacked_simulator(
                 FloodingConfig(
                     attackers=scenario.attackers,
                     victim=scenario.victim,
-                    fir=fir,
+                    fir=scenario.fir,
                     packet_size_flits=config.packet_size_flits,
                     start_cycle=shape.attack_start,
                     end_cycle=shape.attack_end,
@@ -269,6 +326,7 @@ def run_defended_episode(
     post_attack_windows: int = 4,
     seed: int = 42,
     baseline_latency: float | None = None,
+    flow_fir_profile: tuple[float, ...] | None = None,
 ) -> tuple[DefenseReport, float]:
     """Run one attack episode under guard; returns (report, baseline latency).
 
@@ -276,6 +334,9 @@ def run_defended_episode(
     :class:`MultiAttackScenario` of concurrent floods; the guard then fences
     the attackers over iterative localization rounds and the report carries
     per-attacker latencies plus time-to-full-containment.
+    ``flow_fir_profile`` makes a multi-attack episode asymmetric: the profile
+    is rescaled so its loudest flow floods at ``fir`` (see
+    :func:`_scenario_with_fir`).
 
     The baseline is the same workload and measurement horizon with neither
     attacker nor guard — the no-attack benign latency the defended system is
@@ -288,7 +349,7 @@ def run_defended_episode(
     if scenario is None:
         scenario = _default_scenario(builder, fir)
     else:
-        scenario = _scenario_with_fir(scenario, fir)
+        scenario = _scenario_with_fir(scenario, fir, flow_fir_profile)
     if baseline_latency is None:
         baseline_latency = baseline_benign_latency(
             builder,
@@ -299,7 +360,7 @@ def run_defended_episode(
             seed,
         )
 
-    simulator = _attacked_simulator(builder, benchmark, scenario, fir, shape, seed)
+    simulator = _attacked_simulator(builder, benchmark, scenario, shape, seed)
     guard = DL2FenceGuard(
         fence,
         policy,
@@ -324,6 +385,7 @@ def unmitigated_attack_latency(
     attack_windows: int = 10,
     post_attack_windows: int = 4,
     seed: int = 42,
+    flow_fir_profile: tuple[float, ...] | None = None,
 ) -> float:
     """Benign latency of the same attack episode with no defense at all.
 
@@ -336,7 +398,9 @@ def unmitigated_attack_latency(
     )
     if scenario is None:
         scenario = _default_scenario(builder, fir)
-    simulator = _attacked_simulator(builder, benchmark, scenario, fir, shape, seed)
+    else:
+        scenario = _scenario_with_fir(scenario, fir, flow_fir_profile)
+    simulator = _attacked_simulator(builder, benchmark, scenario, shape, seed)
     simulator.run(shape.total_cycles)
     period = builder.config.sample_period
     span = [
@@ -350,6 +414,48 @@ def unmitigated_attack_latency(
     return LatencyStats.from_packets(span).packet_latency
 
 
+@dataclass(frozen=True)
+class _SweepTask:
+    """One independent simulation of the mitigation sweep fan-out."""
+
+    kind: str  # "unmitigated" | "episode"
+    dataset_config: DatasetConfig
+    benchmark: str
+    fir: float
+    scenario: AttackScenario | MultiAttackScenario | None
+    attack_windows: int
+    flow_fir_profile: tuple[float, ...] | None
+    policy: MitigationPolicy | None = None
+    fence: DL2Fence | None = None
+    baseline: float | None = None
+
+
+def _run_sweep_task(task: _SweepTask):
+    """Execute one sweep simulation (module-level for worker processes)."""
+    builder = DatasetBuilder(task.dataset_config)
+    if task.kind == "unmitigated":
+        return unmitigated_attack_latency(
+            builder,
+            task.fir,
+            benchmark=task.benchmark,
+            scenario=task.scenario,
+            attack_windows=task.attack_windows,
+            flow_fir_profile=task.flow_fir_profile,
+        )
+    report, _ = run_defended_episode(
+        task.fence,
+        builder,
+        task.policy,
+        fir=task.fir,
+        benchmark=task.benchmark,
+        scenario=task.scenario,
+        attack_windows=task.attack_windows,
+        baseline_latency=task.baseline,
+        flow_fir_profile=task.flow_fir_profile,
+    )
+    return report
+
+
 def run_mitigation_sweep(
     firs: tuple[float, ...] = (0.4, 0.8),
     rows_values: tuple[int, ...] = (8,),
@@ -359,6 +465,8 @@ def run_mitigation_sweep(
     num_flows: int = 1,
     attack_windows: int = 10,
     training_benchmarks: tuple[str, ...] = ("uniform_random", "tornado"),
+    flow_fir_profile: tuple[float, ...] | None = None,
+    engine: ExperimentEngine | None = None,
 ) -> list[MitigationPoint]:
     """Sweep FIR x mesh size x mitigation policy with one trained pipeline per mesh.
 
@@ -366,12 +474,70 @@ def run_mitigation_sweep(
     row-disjoint :func:`default_multi_scenario` of concurrent floods, and
     ``benchmark`` accepts PARSEC workloads as well as synthetic patterns, so
     the sweep covers the paper's 16x16 + PARSEC evaluation scale.
+    ``flow_fir_profile`` (e.g. :data:`ASYMMETRIC_FLOW_FIRS`) makes the
+    concurrent flows asymmetric: the profile is rescaled so the loudest flow
+    floods at the swept FIR while the others stay proportionally quieter.
+
+    The pipeline is trained once per mesh through the experiment engine's
+    artifact cache, the independent episode/unmitigated simulations fan out
+    across the engine's worker processes (bit-identical to the serial order
+    — every task carries its own seed), and the finished sweep is memoised.
     """
     base_config = config or ExperimentConfig()
+    engine = engine or ExperimentEngine.from_environment()
+    payload = {
+        "experiment": base_config,
+        "firs": tuple(firs),
+        "rows_values": tuple(rows_values),
+        "policies": tuple(policies),
+        "benchmark": benchmark,
+        "num_flows": num_flows,
+        "attack_windows": attack_windows,
+        "training_benchmarks": tuple(training_benchmarks),
+        "flow_fir_profile": tuple(flow_fir_profile) if flow_fir_profile else None,
+        "dtype": default_dtype(),
+    }
+    records = engine.cached_records(
+        "mitigation-sweep",
+        payload,
+        lambda: [
+            point.to_payload()
+            for point in _compute_mitigation_points(
+                tuple(firs),
+                tuple(rows_values),
+                tuple(policies),
+                base_config,
+                benchmark,
+                num_flows,
+                attack_windows,
+                tuple(training_benchmarks),
+                tuple(flow_fir_profile) if flow_fir_profile else None,
+                engine,
+            )
+        ],
+    )
+    return [MitigationPoint.from_payload(record) for record in records]
+
+
+def _compute_mitigation_points(
+    firs: tuple[float, ...],
+    rows_values: tuple[int, ...],
+    policies: tuple[MitigationPolicy, ...],
+    base_config: ExperimentConfig,
+    benchmark: str,
+    num_flows: int,
+    attack_windows: int,
+    training_benchmarks: tuple[str, ...],
+    flow_fir_profile: tuple[float, ...] | None,
+    engine: ExperimentEngine,
+) -> list[MitigationPoint]:
+    """Cache-miss path of the sweep: train once per mesh, fan episodes out."""
     points: list[MitigationPoint] = []
     for rows in rows_values:
         experiment = base_config.scaled(rows=rows)
-        fence, builder = train_defense_pipeline(experiment, benchmarks=training_benchmarks)
+        fence, builder = train_defense_pipeline(
+            experiment, benchmarks=training_benchmarks, engine=engine
+        )
         mesh_baseline = baseline_benign_latency(
             builder, benchmark=benchmark, attack_windows=attack_windows
         )
@@ -380,22 +546,41 @@ def run_mitigation_sweep(
             if num_flows > 1
             else None
         )
+        profile = flow_fir_profile if num_flows > 1 else None
+        tasks: list[_SweepTask] = []
         for fir in firs:
-            unmitigated = unmitigated_attack_latency(
-                builder, fir, benchmark=benchmark, scenario=scenario,
-                attack_windows=attack_windows,
-            )
-            for policy in policies:
-                report, baseline = run_defended_episode(
-                    fence,
-                    builder,
-                    policy,
-                    fir=fir,
+            tasks.append(
+                _SweepTask(
+                    kind="unmitigated",
+                    dataset_config=builder.config,
                     benchmark=benchmark,
+                    fir=fir,
                     scenario=scenario,
                     attack_windows=attack_windows,
-                    baseline_latency=mesh_baseline,
+                    flow_fir_profile=profile,
                 )
+            )
+            for policy in policies:
+                tasks.append(
+                    _SweepTask(
+                        kind="episode",
+                        dataset_config=builder.config,
+                        benchmark=benchmark,
+                        fir=fir,
+                        scenario=scenario,
+                        attack_windows=attack_windows,
+                        flow_fir_profile=profile,
+                        policy=policy,
+                        fence=fence,
+                        baseline=mesh_baseline,
+                    )
+                )
+        results = iter(engine.runner.map(_run_sweep_task, tasks))
+        for fir in firs:
+            unmitigated = next(results)
+            flow_firs = scaled_flow_firs(profile, fir) if profile else ()
+            for policy in policies:
+                report = next(results)
                 truth = set(report.true_attackers)
                 points.append(
                     MitigationPoint(
@@ -408,11 +593,11 @@ def run_mitigation_sweep(
                         detected=report.detection_latency is not None,
                         detection_latency=report.detection_latency,
                         time_to_mitigation=report.time_to_mitigation,
-                        baseline_latency=baseline,
+                        baseline_latency=mesh_baseline,
                         attack_latency=report.attack_latency(),
                         unmitigated_latency=unmitigated,
                         mitigated_latency=report.post_mitigation_latency(),
-                        recovery_ratio=report.recovery_ratio(baseline),
+                        recovery_ratio=report.recovery_ratio(mesh_baseline),
                         engaged_nodes=tuple(sorted(report.engaged_nodes)),
                         collateral_nodes=tuple(sorted(report.collateral_nodes)),
                         collateral_node_windows=report.collateral_node_windows,
@@ -425,6 +610,7 @@ def run_mitigation_sweep(
                         per_attacker_detection_latency=(
                             report.per_attacker_detection_latency()
                         ),
+                        flow_firs=flow_firs,
                     )
                 )
     return points

@@ -13,6 +13,7 @@ of Section 3 are naturally expressed.
 """
 
 from repro.nn.activations import LeakyReLU, ReLU, Sigmoid, Softmax, Tanh
+from repro.nn.dtype import default_dtype, resolve_dtype, set_default_dtype, use_dtype
 from repro.nn.initializers import (
     Constant,
     GlorotUniform,
@@ -92,6 +93,7 @@ __all__ = [
     "accuracy_score",
     "combined_bce_dice",
     "confusion_counts",
+    "default_dtype",
     "dice_coefficient",
     "f1_score",
     "get_initializer",
@@ -101,7 +103,10 @@ __all__ = [
     "load_model",
     "precision_score",
     "recall_score",
+    "resolve_dtype",
     "save_model",
     "segmentation_report",
+    "set_default_dtype",
     "train_test_split",
+    "use_dtype",
 ]

@@ -53,7 +53,9 @@ class Sigmoid(Layer):
     """Logistic sigmoid, numerically stabilised for large magnitude inputs."""
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
-        out = np.empty_like(inputs, dtype=np.float64)
+        if not np.issubdtype(np.asarray(inputs).dtype, np.floating):
+            inputs = np.asarray(inputs, dtype=np.float64)
+        out = np.empty_like(inputs)
         positive = inputs >= 0
         out[positive] = 1.0 / (1.0 + np.exp(-inputs[positive]))
         exp_x = np.exp(inputs[~positive])

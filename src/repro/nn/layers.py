@@ -14,6 +14,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.nn.dtype import default_dtype
 from repro.nn.initializers import GlorotUniform, HeNormal, Initializer, Zeros, get_initializer
 
 __all__ = [
@@ -28,6 +29,29 @@ __all__ = [
 ]
 
 
+#: Scratch attributes produced by forward/backward passes (cached input
+#: batches, im2col buffers, pooling argmax maps, ...).  They are dropped when
+#: a layer is pickled: worker processes and serialized artifacts only need
+#: parameters and configuration, not megabytes of stale activations.
+_TRANSIENT_STATE = frozenset(
+    {
+        "_argmax",
+        "_axes",
+        "_cache",
+        "_centered",
+        "_col_buffer",
+        "_inputs",
+        "_input_shape",
+        "_mask",
+        "_n",
+        "_normed",
+        "_out_dims",
+        "_output",
+        "_std_inv",
+    }
+)
+
+
 class Layer:
     """Base class for every layer.
 
@@ -40,6 +64,14 @@ class Layer:
         self.params: dict[str, np.ndarray] = {}
         self.grads: dict[str, np.ndarray] = {}
         self.built = False
+
+    def __getstate__(self) -> dict:
+        """Pickle without forward-pass scratch state (see _TRANSIENT_STATE)."""
+        return {
+            key: value
+            for key, value in self.__dict__.items()
+            if key not in _TRANSIENT_STATE
+        }
 
     # -- lifecycle -----------------------------------------------------
     def build(self, input_shape: Sequence[int], rng: np.random.Generator) -> None:
@@ -93,9 +125,12 @@ class Dense(Layer):
                 f"Dense expects flat per-sample inputs, got shape {tuple(input_shape)}"
             )
         in_features = int(input_shape[0])
-        self.params["W"] = self.kernel_initializer((in_features, self.units), rng)
+        dtype = default_dtype()
+        self.params["W"] = self.kernel_initializer((in_features, self.units), rng).astype(
+            dtype, copy=False
+        )
         if self.use_bias:
-            self.params["b"] = Zeros()((self.units,), rng)
+            self.params["b"] = Zeros()((self.units,), rng).astype(dtype, copy=False)
         super().build(input_shape, rng)
 
     def output_shape(self, input_shape: Sequence[int]) -> tuple[int, ...]:
@@ -126,11 +161,20 @@ def _pad_input(inputs: np.ndarray, pad: int) -> np.ndarray:
     return np.pad(inputs, ((0, 0), (pad, pad), (pad, pad), (0, 0)), mode="constant")
 
 
-def _im2col(inputs: np.ndarray, kh: int, kw: int, stride: int) -> tuple[np.ndarray, int, int]:
-    """Extract sliding patches from an NHWC batch.
+def _im2col(
+    inputs: np.ndarray,
+    kh: int,
+    kw: int,
+    stride: int,
+    buffer: np.ndarray | None = None,
+) -> tuple[np.ndarray, int, int, np.ndarray]:
+    """Extract sliding patches from an NHWC batch into a contiguous GEMM matrix.
 
-    Returns a matrix of shape ``(batch * out_h * out_w, kh * kw * channels)``
-    together with the output spatial dimensions.
+    Returns ``(cols, out_h, out_w, buffer)`` where ``cols`` has shape
+    ``(batch * out_h * out_w, kh * kw * channels)``.  ``cols`` is a view into
+    ``buffer``, a flat scratch array that callers keep and pass back in so the
+    (large) patch matrix is allocated once and reused across minibatches
+    instead of reallocated every forward pass.
     """
     batch, height, width, channels = inputs.shape
     out_h = (height - kh) // stride + 1
@@ -153,8 +197,13 @@ def _im2col(inputs: np.ndarray, kh: int, kw: int, stride: int) -> tuple[np.ndarr
         ),
         writeable=False,
     )
-    cols = patch_view.reshape(batch * out_h * out_w, kh * kw * channels)
-    return np.ascontiguousarray(cols), out_h, out_w
+    size = batch * out_h * out_w * kh * kw * channels
+    if buffer is None or buffer.size < size or buffer.dtype != inputs.dtype:
+        buffer = np.empty(size, dtype=inputs.dtype)
+    cols6 = buffer[:size].reshape(batch, out_h, out_w, kh, kw, channels)
+    np.copyto(cols6, patch_view)
+    cols = cols6.reshape(batch * out_h * out_w, kh * kw * channels)
+    return cols, out_h, out_w, buffer
 
 
 def _col2im(
@@ -229,9 +278,12 @@ class Conv2D(Layer):
             )
         channels = int(input_shape[2])
         kh, kw = self.kernel_size
-        self.params["W"] = self.kernel_initializer((kh, kw, channels, self.filters), rng)
+        dtype = default_dtype()
+        self.params["W"] = self.kernel_initializer(
+            (kh, kw, channels, self.filters), rng
+        ).astype(dtype, copy=False)
         if self.use_bias:
-            self.params["b"] = Zeros()((self.filters,), rng)
+            self.params["b"] = Zeros()((self.filters,), rng).astype(dtype, copy=False)
         super().build(input_shape, rng)
 
     def output_shape(self, input_shape: Sequence[int]) -> tuple[int, ...]:
@@ -246,7 +298,9 @@ class Conv2D(Layer):
         pad = self._pad_amount()
         padded = _pad_input(inputs, pad)
         kh, kw = self.kernel_size
-        cols, out_h, out_w = _im2col(padded, kh, kw, self.stride)
+        cols, out_h, out_w, self._col_buffer = _im2col(
+            padded, kh, kw, self.stride, getattr(self, "_col_buffer", None)
+        )
         weights = self.params["W"].reshape(kh * kw * padded.shape[3], self.filters)
         out = cols @ weights
         if self.use_bias:
@@ -425,7 +479,9 @@ class Dropout(Layer):
             self._mask = None
             return inputs
         keep = 1.0 - self.rate
-        self._mask = (self._rng.random(inputs.shape) < keep) / keep
+        mask = (self._rng.random(inputs.shape) < keep).astype(inputs.dtype)
+        mask /= np.asarray(keep, dtype=inputs.dtype)
+        self._mask = mask
         return inputs * self._mask
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -451,10 +507,11 @@ class BatchNorm(Layer):
 
     def build(self, input_shape: Sequence[int], rng: np.random.Generator) -> None:
         channels = int(input_shape[-1])
-        self.params["gamma"] = np.ones(channels, dtype=np.float64)
-        self.params["beta"] = np.zeros(channels, dtype=np.float64)
-        self.running_mean = np.zeros(channels, dtype=np.float64)
-        self.running_var = np.ones(channels, dtype=np.float64)
+        dtype = default_dtype()
+        self.params["gamma"] = np.ones(channels, dtype=dtype)
+        self.params["beta"] = np.zeros(channels, dtype=dtype)
+        self.running_mean = np.zeros(channels, dtype=dtype)
+        self.running_var = np.ones(channels, dtype=dtype)
         super().build(input_shape, rng)
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:

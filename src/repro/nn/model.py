@@ -6,6 +6,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.nn.dtype import default_dtype
 from repro.nn.layers import Layer
 
 __all__ = ["Sequential"]
@@ -24,6 +25,7 @@ class Sequential:
         self.seed = int(seed)
         self._rng = np.random.default_rng(self.seed)
         self.input_shape: tuple[int, ...] | None = None
+        self.dtype: np.dtype = default_dtype()
 
     # -- construction ---------------------------------------------------
     def add(self, layer: Layer) -> "Sequential":
@@ -37,6 +39,9 @@ class Sequential:
         """Allocate all layer parameters for a per-sample ``input_shape``."""
         shape = tuple(int(d) for d in input_shape)
         self.input_shape = shape
+        # Parameters are allocated in the process-wide default dtype; the
+        # model keeps computing in that dtype even if the default changes.
+        self.dtype = default_dtype()
         for layer in self.layers:
             layer.build(shape, self._rng)
             shape = layer.output_shape(shape)
@@ -54,9 +59,10 @@ class Sequential:
 
     # -- computation ----------------------------------------------------
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
-        """Run a forward pass over a batch."""
-        inputs = np.asarray(inputs, dtype=np.float64)
+        """Run a forward pass over a batch (in the model's build-time dtype)."""
+        inputs = np.asarray(inputs)
         self._ensure_built(inputs)
+        inputs = inputs.astype(self.dtype, copy=False)
         out = inputs
         for layer in self.layers:
             out = layer.forward(out, training=training)
@@ -71,10 +77,10 @@ class Sequential:
 
     def predict(self, inputs: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Inference-mode forward pass, processed in mini-batches."""
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = np.asarray(inputs)
         if inputs.shape[0] == 0:
             self._ensure_built(inputs)
-            return np.zeros((0,) + tuple(self.output_shape))
+            return np.zeros((0,) + tuple(self.output_shape), dtype=self.dtype)
         chunks = [
             self.forward(inputs[start : start + batch_size], training=False)
             for start in range(0, inputs.shape[0], batch_size)
@@ -125,7 +131,7 @@ class Sequential:
                         f"shape mismatch for {type(layer).__name__}.{name}: "
                         f"{layer.params[name].shape} vs {value.shape}"
                     )
-                layer.params[name] = np.asarray(value, dtype=np.float64).copy()
+                layer.params[name] = np.asarray(value, dtype=self.dtype).copy()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Sequential(layers={len(self.layers)}, params={self.num_parameters})"

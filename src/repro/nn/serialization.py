@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.nn import activations as _activations
 from repro.nn import layers as _layers
+from repro.nn.dtype import use_dtype
 from repro.nn.model import Sequential
 
 __all__ = ["save_model", "load_model"]
@@ -52,6 +53,7 @@ def save_model(model: Sequential, path: str | Path) -> Path:
     architecture = {
         "input_shape": list(model.input_shape),
         "seed": model.seed,
+        "dtype": np.dtype(model.dtype).name,
         "layers": [layer.get_config() for layer in model.layers],
     }
     arrays: dict[str, np.ndarray] = {
@@ -78,11 +80,13 @@ def load_model(path: str | Path) -> Sequential:
             [_layer_from_config(cfg) for cfg in architecture["layers"]],
             seed=architecture.get("seed", 0),
         )
-        model.build(architecture["input_shape"])
+        # Models saved before the dtype-parameterized substrate were float64.
+        with use_dtype(architecture.get("dtype", "float64")):
+            model.build(architecture["input_shape"])
         for index, layer in enumerate(model.layers):
             for name in list(layer.params):
                 key = f"layer{index}__{name}"
                 if key not in archive:
                     raise KeyError(f"missing weight {key!r} in {path}")
-                layer.params[name] = archive[key].astype(np.float64)
+                layer.params[name] = archive[key].astype(model.dtype)
     return model

@@ -125,8 +125,9 @@ class Trainer:
         verbose: bool = False,
     ) -> History:
         """Train the model and return per-epoch history."""
-        x = np.asarray(x, dtype=np.float64)
-        y = np.asarray(y, dtype=np.float64)
+        dtype = self._dtype()
+        x = np.asarray(x, dtype=dtype)
+        y = np.asarray(y, dtype=dtype)
         if x.shape[0] != y.shape[0]:
             raise ValueError("x and y must have the same number of samples")
         if x.shape[0] == 0:
@@ -158,8 +159,8 @@ class Trainer:
             monitored = epoch_loss
             if validation_data is not None:
                 val_x, val_y = validation_data
-                val_pred = self.model.predict(np.asarray(val_x, dtype=np.float64))
-                val_y = np.asarray(val_y, dtype=np.float64)
+                val_pred = self.model.predict(np.asarray(val_x, dtype=dtype))
+                val_y = np.asarray(val_y, dtype=dtype)
                 val_loss = self.loss.forward(val_pred, val_y)
                 history.val_loss.append(val_loss)
                 history.val_metric.append(float(self.metric(val_y, val_pred)))
@@ -175,9 +176,16 @@ class Trainer:
                 break
         return history
 
+    def _dtype(self) -> np.dtype:
+        """The model's compute dtype (the substrate default until built)."""
+        from repro.nn.dtype import default_dtype
+
+        return getattr(self.model, "dtype", None) or default_dtype()
+
     def evaluate(self, x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
         """Return ``(loss, metric)`` on a held-out set."""
-        x = np.asarray(x, dtype=np.float64)
-        y = np.asarray(y, dtype=np.float64)
+        dtype = self._dtype()
+        x = np.asarray(x, dtype=dtype)
+        y = np.asarray(y, dtype=dtype)
         predictions = self.model.predict(x)
         return self.loss.forward(predictions, y), float(self.metric(y, predictions))

@@ -1,0 +1,213 @@
+"""Content-addressed disk cache for expensive experiment artifacts.
+
+The experiment suite spends almost all of its wall-clock in two places:
+simulating scenario runs and training the DL2Fence CNNs.  Both are pure
+functions of their configuration, so the :class:`ArtifactCache` stores them
+on disk keyed by a canonical hash of that configuration
+(:mod:`repro.runtime.hashing`) and every re-run — a second table at the same
+mesh scale, a figure regenerated after a cosmetic change — loads instead of
+recomputing.
+
+Entries are directories.  A writer fills a temporary sibling directory,
+writes a ``manifest.json`` (file names + sizes) *last*, then atomically
+renames the directory into place; a reader treats a missing manifest, a
+missing or size-mismatched file, or a loader exception as a cache miss,
+purges the broken entry and rebuilds.  Interrupted writes therefore can never
+be loaded.
+
+Environment variables:
+
+``REPRO_CACHE``
+    ``0``/``false`` disables the cache entirely (every fetch misses, every
+    store is a no-op).  Default: enabled.
+``REPRO_CACHE_DIR``
+    Cache root.  Default: ``~/.cache/dl2fence-repro``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, TypeVar
+
+from repro.runtime.hashing import cache_key
+
+__all__ = ["ArtifactCache", "CacheStats", "default_cache_root"]
+
+T = TypeVar("T")
+
+_MANIFEST = "manifest.json"
+
+
+def default_cache_root() -> Path:
+    """Cache root from ``REPRO_CACHE_DIR`` (default ``~/.cache/dl2fence-repro``)."""
+    raw = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    if raw:
+        return Path(raw).expanduser()
+    return Path.home() / ".cache" / "dl2fence-repro"
+
+
+def _enabled_from_environment() -> bool:
+    raw = os.environ.get("REPRO_CACHE", "").strip().lower()
+    return raw not in ("0", "false", "no", "off")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters (reported by the perf harness)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalid: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalid": self.invalid,
+        }
+
+
+@dataclass
+class ArtifactCache:
+    """Directory-per-entry disk cache with atomic, manifest-validated writes."""
+
+    root: Path = field(default_factory=default_cache_root)
+    enabled: bool = field(default_factory=_enabled_from_environment)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    @classmethod
+    def from_environment(cls) -> "ArtifactCache":
+        """Cache configured purely from ``REPRO_CACHE`` / ``REPRO_CACHE_DIR``."""
+        return cls()
+
+    @classmethod
+    def disabled(cls) -> "ArtifactCache":
+        """A cache that never hits and never writes."""
+        return cls(enabled=False)
+
+    # -- entry layout -------------------------------------------------------
+    def entry_dir(self, kind: str, payload: Any) -> Path:
+        """Directory an entry for (kind, payload) lives in (existing or not)."""
+        key = cache_key(kind, payload)
+        return self.root / key[:2] / key
+
+    def _is_complete(self, entry: Path) -> bool:
+        manifest_path = entry / _MANIFEST
+        try:
+            manifest = json.loads(manifest_path.read_text())
+            files = manifest["files"]
+        except (OSError, ValueError, KeyError):
+            return False
+        for name, size in files.items():
+            data_path = entry / name
+            try:
+                if data_path.stat().st_size != int(size):
+                    return False
+            except OSError:
+                return False
+        return True
+
+    def _purge(self, entry: Path) -> None:
+        shutil.rmtree(entry, ignore_errors=True)
+
+    # -- read / write -------------------------------------------------------
+    def fetch(
+        self, kind: str, payload: Any, load: Callable[[Path], T]
+    ) -> T | None:
+        """Load a cached artifact; ``None`` on miss, corruption, or disabled.
+
+        A corrupted or partially written entry (missing/invalid manifest,
+        truncated file, loader exception) is deleted so the caller's rebuild
+        can store a fresh copy.
+        """
+        if not self.enabled:
+            self.stats.misses += 1
+            return None
+        entry = self.entry_dir(kind, payload)
+        if not entry.is_dir():
+            self.stats.misses += 1
+            return None
+        if not self._is_complete(entry):
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            self._purge(entry)
+            return None
+        try:
+            value = load(entry)
+        except Exception:
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            self._purge(entry)
+            return None
+        self.stats.hits += 1
+        return value
+
+    def store(self, kind: str, payload: Any, save: Callable[[Path], None]) -> Path | None:
+        """Persist an artifact atomically; returns the entry dir (None if disabled).
+
+        ``save`` receives an empty staging directory and writes the entry's
+        files into it.  The manifest is written after ``save`` returns and the
+        staging directory is renamed into place, so readers only ever see
+        complete entries.
+        """
+        if not self.enabled:
+            return None
+        entry = self.entry_dir(kind, payload)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        staging = entry.parent / f".staging-{entry.name}-{uuid.uuid4().hex[:8]}"
+        staging.mkdir()
+        try:
+            save(staging)
+            files = {
+                path.name: path.stat().st_size
+                for path in sorted(staging.iterdir())
+                if path.is_file()
+            }
+            manifest = {
+                "kind": str(kind),
+                "key": entry.name,
+                "files": files,
+            }
+            (staging / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+            if entry.exists():
+                # A concurrent writer finished first; keep its entry.
+                self._purge(staging)
+            else:
+                try:
+                    os.replace(staging, entry)
+                except OSError:
+                    # Lost a rename race against a concurrent writer between
+                    # the exists() check and the replace; its entry stands.
+                    self._purge(staging)
+            self.stats.stores += 1
+            return entry
+        except BaseException:
+            self._purge(staging)
+            raise
+
+    def get_or_build(
+        self,
+        kind: str,
+        payload: Any,
+        build: Callable[[], T],
+        save: Callable[[T, Path], None],
+        load: Callable[[Path], T],
+    ) -> T:
+        """Fetch, or build + store.  The returned value is never re-loaded,
+        so cached and fresh call sites observe identical objects-by-value."""
+        cached = self.fetch(kind, payload, load)
+        if cached is not None:
+            return cached
+        value = build()
+        self.store(kind, payload, lambda directory: save(value, directory))
+        return value

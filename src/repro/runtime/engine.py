@@ -1,0 +1,390 @@
+"""The shared experiment engine: cached datasets, cached models, parallel fan-out.
+
+Every experiment driver (tables, figures, sweeps, benches) routes its two
+expensive stages through this module:
+
+* **Scenario runs** — the simulated monitor output a dataset is assembled
+  from.  :meth:`ExperimentEngine.build_runs` reproduces
+  :meth:`repro.monitor.dataset.DatasetBuilder.build_runs` bit for bit (same
+  scenario draws, same per-run seeds) but executes the independent
+  simulations through the :class:`~repro.runtime.parallel.ParallelRunner`
+  and memoises the result on disk.  The scenario draws are made serially
+  up-front — they are cheap and order-dependent — so only the pure
+  simulations fan out.
+* **Trained pipelines** — :meth:`ExperimentEngine.trained_fence` /
+  :meth:`ExperimentEngine.trained_detector` return models loaded from the
+  cache when the full training configuration (dataset + architecture +
+  epochs + NN dtype) has been seen before; a figure re-run or a second sweep
+  at the same mesh scale never retrains.
+* **Sweep records** — :meth:`ExperimentEngine.cached_records` memoises a
+  list-of-dicts sweep result (latency points, mitigation points, table rows)
+  as JSON.
+
+Cached artifacts round-trip by value: a loaded scenario run compares equal,
+frame for frame, with a freshly simulated one, and a loaded model produces
+bit-identical decisions — property-tested in ``tests/runtime``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.config import DL2FenceConfig
+from repro.core.detector import DoSDetector
+from repro.core.localizer import DoSProfileLocalizer
+from repro.core.pipeline import DL2Fence
+from repro.monitor.dataset import DatasetBuilder, DatasetConfig, ScenarioRun
+from repro.monitor.features import FeatureKind
+from repro.monitor.frames import DirectionalFrame, FrameSample, FrameSet
+from repro.noc.topology import Direction
+from repro.nn.dtype import default_dtype
+from repro.runtime.cache import ArtifactCache
+from repro.runtime.parallel import ParallelRunner
+from repro.traffic.scenario import AttackScenario, ScenarioGenerator, benchmark_names
+
+__all__ = ["ExperimentEngine", "RunTask"]
+
+
+@dataclass(frozen=True)
+class RunTask:
+    """One independent simulation of the dataset-generation plan."""
+
+    config: DatasetConfig
+    benchmark: str
+    scenario: AttackScenario | None
+    seed: int
+
+
+def _simulate_run(task: RunTask) -> ScenarioRun:
+    """Execute one scenario run (module-level so worker processes can pickle it)."""
+    builder = DatasetBuilder(task.config)
+    return builder.run_benchmark(task.benchmark, scenario=task.scenario, seed=task.seed)
+
+
+def _plan_run_tasks(
+    config: DatasetConfig,
+    benchmarks: list[str],
+    scenarios_per_benchmark: int,
+    attacker_counts: tuple[int, ...],
+    include_benign: bool,
+    seed: int,
+) -> list[RunTask]:
+    """The exact task sequence of ``DatasetBuilder.build_runs`` (same seeds)."""
+    generator = ScenarioGenerator(config.topology(), seed=seed)
+    tasks: list[RunTask] = []
+    for b_index, benchmark in enumerate(benchmarks):
+        run_seed = seed + 101 * (b_index + 1)
+        if include_benign:
+            tasks.append(RunTask(config, benchmark, None, run_seed))
+        for s_index in range(scenarios_per_benchmark):
+            count = attacker_counts[s_index % len(attacker_counts)]
+            scenario = generator.random_scenario(
+                num_attackers=count, fir=config.fir, benchmark=benchmark
+            )
+            tasks.append(RunTask(config, benchmark, scenario, run_seed + s_index + 1))
+    return tasks
+
+
+# -- scenario-run (de)serialization -----------------------------------------
+
+_DIRECTION_NAMES = {d: d.value for d in Direction.cardinal()}
+
+
+def _scenario_to_json(scenario: AttackScenario | None) -> dict | None:
+    if scenario is None:
+        return None
+    return {
+        "attackers": list(scenario.attackers),
+        "victim": scenario.victim,
+        "fir": scenario.fir,
+        "benchmark": scenario.benchmark,
+    }
+
+
+def _scenario_from_json(data: dict | None) -> AttackScenario | None:
+    if data is None:
+        return None
+    return AttackScenario(
+        attackers=tuple(int(a) for a in data["attackers"]),
+        victim=int(data["victim"]),
+        fir=float(data["fir"]),
+        benchmark=str(data["benchmark"]),
+    )
+
+
+def _save_run(run: ScenarioRun, directory: Path) -> None:
+    """Persist a single scenario run (one per-task cache entry)."""
+    _save_runs([run], directory)
+
+
+def _load_run(directory: Path) -> ScenarioRun:
+    (run,) = _load_runs(directory)
+    return run
+
+
+def _save_runs(runs: list[ScenarioRun], directory: Path) -> None:
+    meta = []
+    arrays: dict[str, np.ndarray] = {}
+    for r_index, run in enumerate(runs):
+        meta.append(
+            {
+                "benchmark": run.benchmark,
+                "scenario": _scenario_to_json(run.scenario),
+                "rows": run.topology.rows,
+                "cycles": [sample.cycle for sample in run.samples],
+                "attack_active": [bool(sample.attack_active) for sample in run.samples],
+            }
+        )
+        for kind in FeatureKind:
+            for direction, dname in _DIRECTION_NAMES.items():
+                frames = [
+                    sample.feature(kind).frames[direction].values
+                    for sample in run.samples
+                ]
+                key = f"r{r_index}_{kind.value}_{dname}"
+                arrays[key] = (
+                    np.stack(frames, axis=0) if frames else np.zeros((0, 0, 0))
+                )
+    (directory / "runs.json").write_text(json.dumps(meta))
+    np.savez(directory / "runs.npz", **arrays)
+
+
+def _load_runs(directory: Path) -> list[ScenarioRun]:
+    from repro.noc.topology import MeshTopology
+
+    meta = json.loads((directory / "runs.json").read_text())
+    runs: list[ScenarioRun] = []
+    with np.load(directory / "runs.npz") as archive:
+        for r_index, entry in enumerate(meta):
+            topology = MeshTopology(rows=int(entry["rows"]))
+            samples = []
+            for s_index, cycle in enumerate(entry["cycles"]):
+                frame_sets = {}
+                for kind in FeatureKind:
+                    frames = {}
+                    for direction, dname in _DIRECTION_NAMES.items():
+                        stacked = archive[f"r{r_index}_{kind.value}_{dname}"]
+                        frames[direction] = DirectionalFrame(
+                            direction=direction,
+                            kind=kind,
+                            values=stacked[s_index],
+                            cycle=int(cycle),
+                        )
+                    frame_sets[kind] = FrameSet(
+                        kind=kind, frames=frames, cycle=int(cycle)
+                    )
+                samples.append(
+                    FrameSample(
+                        cycle=int(cycle),
+                        vco=frame_sets[FeatureKind.VCO],
+                        boc=frame_sets[FeatureKind.BOC],
+                        attack_active=bool(entry["attack_active"][s_index]),
+                    )
+                )
+            runs.append(
+                ScenarioRun(
+                    benchmark=str(entry["benchmark"]),
+                    scenario=_scenario_from_json(entry["scenario"]),
+                    samples=samples,
+                    topology=topology,
+                )
+            )
+    return runs
+
+
+# -- the engine ---------------------------------------------------------------
+
+
+@dataclass
+class ExperimentEngine:
+    """Cache + parallel executor shared by every experiment entry point."""
+
+    cache: ArtifactCache = field(default_factory=ArtifactCache.from_environment)
+    runner: ParallelRunner = field(default_factory=ParallelRunner.from_environment)
+
+    @classmethod
+    def from_environment(cls) -> "ExperimentEngine":
+        """Engine honouring REPRO_CACHE[_DIR] and REPRO_WORKERS."""
+        return cls()
+
+    @classmethod
+    def disabled(cls) -> "ExperimentEngine":
+        """No caching, serial execution — the legacy behaviour."""
+        return cls(cache=ArtifactCache.disabled(), runner=ParallelRunner(workers=1))
+
+    # -- datasets -----------------------------------------------------------
+    def build_runs(
+        self,
+        config: DatasetConfig,
+        benchmarks: list[str] | None = None,
+        scenarios_per_benchmark: int = 1,
+        attacker_counts: tuple[int, ...] = (1, 2),
+        include_benign: bool = True,
+        seed: int | None = None,
+    ) -> list[ScenarioRun]:
+        """Cached, parallel equivalent of ``DatasetBuilder.build_runs``.
+
+        Every scenario run is cached *individually*, keyed by its
+        :class:`RunTask` (config + benchmark + scenario + seed).  Overlapping
+        run lists therefore share entries: Tables 1-3 and the Table-4
+        comparison draw identical scenarios for their common benchmarks, so
+        only the first caller simulates them.  Only the missing tasks are
+        fanned out across the worker processes.
+        """
+        seed = config.seed if seed is None else seed
+        if benchmarks is None:
+            benchmarks = benchmark_names()
+        tasks = _plan_run_tasks(
+            config,
+            list(benchmarks),
+            scenarios_per_benchmark,
+            tuple(attacker_counts),
+            include_benign,
+            seed,
+        )
+        runs: list[ScenarioRun | None] = [
+            self.cache.fetch("scenario-run", task, _load_run) for task in tasks
+        ]
+        missing = [index for index, run in enumerate(runs) if run is None]
+        fresh = self.runner.map(_simulate_run, [tasks[index] for index in missing])
+        for index, run in zip(missing, fresh):
+            runs[index] = run
+            self.cache.store(
+                "scenario-run", tasks[index], lambda d, run=run: _save_run(run, d)
+            )
+        return runs
+
+    # -- trained models -----------------------------------------------------
+    def trained_fence(
+        self,
+        config: DatasetConfig,
+        fence_config: DL2FenceConfig,
+        benchmarks: list[str] | None = None,
+        scenarios_per_benchmark: int = 1,
+        seed: int | None = None,
+        detector_epochs: int = 60,
+        localizer_epochs: int = 80,
+        attacker_counts: tuple[int, ...] = (1, 2),
+    ) -> tuple[DL2Fence, DatasetBuilder]:
+        """A trained DL2Fence pipeline, loaded from cache when available."""
+        seed = config.seed if seed is None else seed
+        if benchmarks is None:
+            benchmarks = benchmark_names()
+        builder = DatasetBuilder(config)
+        payload = {
+            "config": config,
+            "fence": fence_config,
+            "benchmarks": list(benchmarks),
+            "scenarios_per_benchmark": scenarios_per_benchmark,
+            "attacker_counts": tuple(attacker_counts),
+            "seed": seed,
+            "detector_epochs": detector_epochs,
+            "localizer_epochs": localizer_epochs,
+            "dtype": default_dtype(),
+        }
+
+        def build() -> DL2Fence:
+            runs = self.build_runs(
+                config,
+                benchmarks=list(benchmarks),
+                scenarios_per_benchmark=scenarios_per_benchmark,
+                attacker_counts=tuple(attacker_counts),
+                seed=seed,
+            )
+            fence = DL2Fence(builder.topology, fence_config)
+            fence.fit_from_runs(
+                builder,
+                runs,
+                detector_epochs=detector_epochs,
+                localizer_epochs=localizer_epochs,
+            )
+            return fence
+
+        def save(fence: DL2Fence, directory: Path) -> None:
+            fence.detector.save(directory / "detector.npz")
+            fence.localizer.save(directory / "localizer.npz")
+
+        def load(directory: Path) -> DL2Fence:
+            detector = DoSDetector.load(directory / "detector.npz", config=fence_config)
+            localizer = DoSProfileLocalizer.load(
+                directory / "localizer.npz", config=fence_config
+            )
+            return DL2Fence(
+                builder.topology, fence_config, detector=detector, localizer=localizer
+            )
+
+        fence = self.cache.get_or_build("trained-fence", payload, build, save, load)
+        return fence, builder
+
+    def trained_detector(
+        self,
+        config: DatasetConfig,
+        fence_config: DL2FenceConfig,
+        benchmarks: list[str],
+        scenarios_per_benchmark: int,
+        seed: int,
+        feature: FeatureKind,
+        epochs: int,
+        runs: list[ScenarioRun] | None = None,
+    ) -> DoSDetector:
+        """A standalone trained detector (Table-4 comparison), cached.
+
+        ``runs`` may carry already-built scenario runs for the *same*
+        configuration so the no-cache path does not re-simulate them; they
+        are only consulted on a cache miss and do not enter the key.
+        """
+        payload = {
+            "config": config,
+            "fence": fence_config,
+            "benchmarks": list(benchmarks),
+            "scenarios_per_benchmark": scenarios_per_benchmark,
+            "seed": seed,
+            "feature": feature,
+            "epochs": epochs,
+            "dtype": default_dtype(),
+        }
+
+        def build() -> DoSDetector:
+            builder = DatasetBuilder(config)
+            train_runs = runs if runs is not None else self.build_runs(
+                config,
+                benchmarks=list(benchmarks),
+                scenarios_per_benchmark=scenarios_per_benchmark,
+                seed=seed,
+            )
+            train_set = builder.detection_dataset(train_runs, feature=feature)
+            detector = DoSDetector(train_set.inputs.shape[1:], config=fence_config)
+            detector.fit(train_set, epochs=epochs)
+            return detector
+
+        def save(detector: DoSDetector, directory: Path) -> None:
+            detector.save(directory / "detector.npz")
+
+        def load(directory: Path) -> DoSDetector:
+            return DoSDetector.load(directory / "detector.npz", config=fence_config)
+
+        return self.cache.get_or_build(
+            "trained-detector", payload, build, save, load
+        )
+
+    # -- generic sweep records ----------------------------------------------
+    def cached_records(
+        self,
+        kind: str,
+        payload: Any,
+        build: Callable[[], list[dict]],
+    ) -> list[dict]:
+        """Memoise a list-of-dicts sweep result as a JSON artifact."""
+
+        def save(records: list[dict], directory: Path) -> None:
+            (directory / "records.json").write_text(json.dumps(records))
+
+        def load(directory: Path) -> list[dict]:
+            return json.loads((directory / "records.json").read_text())
+
+        return self.cache.get_or_build(kind, payload, build, save, load)

@@ -1,0 +1,106 @@
+"""Deterministic multiprocessing executor for independent experiment tasks.
+
+Sweep points, defended episodes and dataset scenario-runs are embarrassingly
+parallel: each task is a pure function of an explicit task descriptor
+(including its own seed), so fanning them across worker processes cannot
+change any result — only the wall-clock.  :class:`ParallelRunner` preserves
+that property by construction:
+
+* every task's seed is derived *before* dispatch (either carried by the task
+  descriptor, or spawned from a root seed with
+  ``np.random.SeedSequence.spawn``), never from worker-local state;
+* results are returned in task order regardless of completion order;
+* ``workers <= 1`` short-circuits to a plain in-process loop, so
+  ``REPRO_WORKERS=1`` is bit-identical to any other worker count.
+
+The worker count comes from the ``REPRO_WORKERS`` environment variable
+(default 1 — serial).  Task functions must be module-level (picklable)
+callables taking a single descriptor argument.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Iterable, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = ["ParallelRunner", "configured_workers", "derive_seeds"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def configured_workers(default: int = 1) -> int:
+    """Worker count from ``REPRO_WORKERS`` (default: serial)."""
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_WORKERS must be an integer, got {raw!r}") from None
+    return max(1, value)
+
+
+def derive_seeds(root_seed: int, count: int) -> list[int]:
+    """``count`` independent per-task seeds from one root seed.
+
+    Uses ``np.random.SeedSequence.spawn`` so the streams are statistically
+    independent, and depends only on ``(root_seed, count, index)`` — the same
+    call yields the same seeds in every process and under every worker count.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    children = np.random.SeedSequence(int(root_seed)).spawn(count)
+    return [int(child.generate_state(1, dtype=np.uint64)[0]) for child in children]
+
+
+class ParallelRunner:
+    """Ordered, deterministic ``map`` over independent tasks."""
+
+    def __init__(self, workers: int | None = None, start_method: str | None = None) -> None:
+        self.workers = configured_workers() if workers is None else max(1, int(workers))
+        if start_method is None:
+            # fork shares the already-imported interpreter state, which keeps
+            # worker start-up cheap; fall back to spawn where fork is absent.
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self.start_method = start_method
+
+    @classmethod
+    def from_environment(cls) -> "ParallelRunner":
+        return cls()
+
+    @property
+    def is_serial(self) -> bool:
+        return self.workers <= 1
+
+    def map(self, fn: Callable[[T], R], tasks: Iterable[T]) -> list[R]:
+        """Apply ``fn`` to every task; results are in task order.
+
+        Serial (``workers <= 1`` or fewer than two tasks) runs in-process;
+        otherwise a process pool executes the tasks with ``chunksize=1`` so
+        long tasks do not serialise behind short ones.
+        """
+        task_list = list(tasks)
+        if self.is_serial or len(task_list) <= 1:
+            return [fn(task) for task in task_list]
+        context = multiprocessing.get_context(self.start_method)
+        processes = min(self.workers, len(task_list))
+        with context.Pool(processes=processes) as pool:
+            return pool.map(fn, task_list, chunksize=1)
+
+    def map_seeded(
+        self,
+        fn: Callable[[tuple[T, int]], R],
+        items: Sequence[T],
+        root_seed: int,
+    ) -> list[R]:
+        """Map over ``(item, seed)`` pairs with per-task derived seeds."""
+        seeds = derive_seeds(root_seed, len(items))
+        return self.map(fn, list(zip(items, seeds)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ParallelRunner(workers={self.workers}, start={self.start_method!r})"

@@ -174,6 +174,19 @@ class MultiAttackScenario:
             benchmark=self.benchmark,
         )
 
+    def with_firs(self, firs: tuple[float, ...]) -> "MultiAttackScenario":
+        """Copy with per-flow FIRs — asymmetric ("loud + quiet") attacks."""
+        if len(firs) != len(self.flows):
+            raise ValueError(
+                f"got {len(firs)} FIRs for {len(self.flows)} flows"
+            )
+        return MultiAttackScenario(
+            flows=tuple(
+                replace(flow, fir=float(fir)) for flow, fir in zip(self.flows, firs)
+            ),
+            benchmark=self.benchmark,
+        )
+
     # -- simulation wiring ---------------------------------------------------
     def attacker_sources(
         self, topology: MeshTopology, seed: int = 0, **kwargs

@@ -7,8 +7,18 @@ one instance instead of re-simulating.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+# Tier-1 tests are hermetic: no artifact-cache reads/writes outside explicit
+# cache fixtures (a stale on-disk model must never mask a code change), and
+# serial execution unless a test opts in with an explicit ParallelRunner.
+# Hard assignment, not setdefault — an inherited REPRO_CACHE=1 must not leak
+# a shared on-disk cache into the suite.
+os.environ["REPRO_CACHE"] = "0"
+os.environ["REPRO_WORKERS"] = "1"
 
 from repro.core.config import DL2FenceConfig
 from repro.core.pipeline import DL2Fence

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.nn.dtype import use_dtype
 from repro.nn.layers import (
     BatchNorm,
     Conv2D,
@@ -15,7 +16,10 @@ from repro.nn.layers import (
 
 
 def build(layer, shape, seed=0):
-    layer.build(shape, np.random.default_rng(seed))
+    # Finite-difference gradient checks need float64 parameter resolution;
+    # float32-specific behaviour is covered by tests/nn/test_dtype.py.
+    with use_dtype("float64"):
+        layer.build(shape, np.random.default_rng(seed))
     return layer
 
 
@@ -48,6 +52,29 @@ def numeric_param_gradient(layer, name, x, grad_out, eps=1e-6):
         flat_p[i] = original
         flat_g[i] = (plus - minus) / (2 * eps)
     return grad
+
+
+class TestPickling:
+    def test_scratch_state_dropped_but_behaviour_preserved(self):
+        import pickle
+
+        layer = build(Conv2D(filters=3, kernel_size=3), (6, 5, 2))
+        x = np.random.default_rng(0).random((4, 6, 5, 2))
+        expected = layer.forward(x)
+        assert hasattr(layer, "_col_buffer")
+
+        restored = pickle.loads(pickle.dumps(layer))
+        assert not hasattr(restored, "_col_buffer"), "scratch must not ship"
+        assert not hasattr(restored, "_cache")
+        assert np.array_equal(restored.forward(x), expected)
+
+    def test_pickled_size_excludes_activations(self):
+        import pickle
+
+        layer = build(Conv2D(filters=8, kernel_size=3), (16, 15, 4))
+        bare = len(pickle.dumps(layer))
+        layer.forward(np.random.default_rng(0).random((64, 16, 15, 4)))
+        assert len(pickle.dumps(layer)) == bare
 
 
 class TestDense:

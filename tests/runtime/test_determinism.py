@@ -1,0 +1,74 @@
+"""Serial/parallel equivalence of the ported experiment sweeps.
+
+Satellite requirement of the engine: ``REPRO_WORKERS=4`` sweep results must
+equal ``REPRO_WORKERS=1`` results seed for seed.  Every sweep point carries
+its own seed in its task descriptor, so fanning the points across worker
+processes cannot change any value — these tests pin that property on the
+latency and mitigation sweeps end to end.
+"""
+
+import json
+
+from repro.defense.policy import MitigationPolicy
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.latency_sweep import run_latency_sweep
+from repro.experiments.mitigation import (
+    ASYMMETRIC_FLOW_FIRS,
+    run_mitigation_sweep,
+)
+from repro.runtime.engine import ExperimentEngine
+from repro.runtime.parallel import ParallelRunner
+
+QUICK = ExperimentConfig.quick()
+
+
+def make_engine(workers: int) -> ExperimentEngine:
+    from repro.runtime.cache import ArtifactCache
+
+    return ExperimentEngine(
+        cache=ArtifactCache.disabled(), runner=ParallelRunner(workers=workers)
+    )
+
+
+def canonical(records: list[dict]) -> str:
+    """NaN-tolerant deep comparison via canonical JSON."""
+    return json.dumps(records, sort_keys=True)
+
+
+class TestLatencySweepDeterminism:
+    def test_workers4_equals_workers1(self):
+        kwargs = dict(firs=(0.0, 0.5, 1.0), config=QUICK, cycles=260)
+        serial = run_latency_sweep(engine=make_engine(1), **kwargs)
+        parallel = run_latency_sweep(engine=make_engine(4), **kwargs)
+        assert canonical([p.as_dict() for p in serial]) == canonical(
+            [p.as_dict() for p in parallel]
+        )
+
+
+class TestMitigationSweepDeterminism:
+    KWARGS = dict(
+        firs=(0.8,),
+        rows_values=(QUICK.rows,),
+        policies=(MitigationPolicy.quarantine(engage_after=2, release_after=4),),
+        config=QUICK,
+        attack_windows=6,
+    )
+
+    def test_workers4_equals_workers1(self):
+        serial = run_mitigation_sweep(engine=make_engine(1), **self.KWARGS)
+        parallel = run_mitigation_sweep(engine=make_engine(4), **self.KWARGS)
+        assert canonical([p.to_payload() for p in serial]) == canonical(
+            [p.to_payload() for p in parallel]
+        )
+
+    def test_asymmetric_profile_recorded_and_deterministic(self):
+        kwargs = dict(self.KWARGS, num_flows=2, flow_fir_profile=ASYMMETRIC_FLOW_FIRS)
+        serial = run_mitigation_sweep(engine=make_engine(1), **kwargs)
+        parallel = run_mitigation_sweep(engine=make_engine(4), **kwargs)
+        assert canonical([p.to_payload() for p in serial]) == canonical(
+            [p.to_payload() for p in parallel]
+        )
+        point = serial[0]
+        # The loudest flow floods at the swept FIR, the quiet one at 1/4.
+        assert point.flow_firs == (0.8, 0.2)
+        assert point.num_attackers == 2

@@ -1,0 +1,99 @@
+"""Canonical cache-key hashing: stability and field sensitivity."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.config import DL2FenceConfig
+from repro.experiments.config import ExperimentConfig
+from repro.monitor.dataset import DatasetConfig
+from repro.monitor.features import FeatureKind
+from repro.runtime.hashing import cache_key, canonical_payload
+
+
+class TestCanonicalPayload:
+    def test_scalars_pass_through(self):
+        assert canonical_payload(3) == 3
+        assert canonical_payload("x") == "x"
+        assert canonical_payload(True) is True
+        assert canonical_payload(None) is None
+
+    def test_float_is_exact(self):
+        assert canonical_payload(0.1) != canonical_payload(0.1 + 1e-12)
+
+    def test_enum_carries_type_and_value(self):
+        payload = canonical_payload(FeatureKind.VCO)
+        assert payload["__enum__"] == "FeatureKind"
+
+    def test_dataclass_carries_all_fields(self):
+        payload = canonical_payload(DatasetConfig())
+        field_names = {f.name for f in dataclasses.fields(DatasetConfig)}
+        assert set(payload["fields"]) == field_names
+
+    def test_ndarray_hashed_by_content(self):
+        a = canonical_payload(np.arange(6).reshape(2, 3))
+        b = canonical_payload(np.arange(6).reshape(2, 3))
+        c = canonical_payload(np.arange(6).reshape(3, 2))
+        assert a == b
+        assert a != c
+
+    def test_dict_key_order_irrelevant(self):
+        assert canonical_payload({"a": 1, "b": 2}) == canonical_payload({"b": 2, "a": 1})
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            canonical_payload(object())
+
+
+class TestCacheKey:
+    def test_stable_across_calls(self):
+        cfg = ExperimentConfig()
+        assert cache_key("runs", cfg) == cache_key("runs", cfg)
+
+    def test_kind_separates_namespaces(self):
+        cfg = ExperimentConfig()
+        assert cache_key("runs", cfg) != cache_key("models", cfg)
+
+    @pytest.mark.parametrize(
+        "field_name", [f.name for f in dataclasses.fields(ExperimentConfig)]
+    )
+    def test_every_experiment_field_changes_the_key(self, field_name):
+        """Changing ANY config field must invalidate the cache entry."""
+        base = ExperimentConfig()
+        value = getattr(base, field_name)
+        if isinstance(value, bool):
+            bumped = not value
+        elif isinstance(value, int):
+            bumped = value + 1
+        elif isinstance(value, float):
+            bumped = value * 0.5 + 0.011
+        else:  # pragma: no cover - no other field types today
+            pytest.fail(f"unhandled field type for {field_name}")
+        changed = base.scaled(**{field_name: bumped})
+        assert cache_key("runs", base) != cache_key("runs", changed)
+
+    @pytest.mark.parametrize(
+        "field_name", [f.name for f in dataclasses.fields(DL2FenceConfig)]
+    )
+    def test_every_fence_field_changes_the_key(self, field_name):
+        base = DL2FenceConfig()
+        value = getattr(base, field_name)
+        if isinstance(value, FeatureKind):
+            bumped = (
+                FeatureKind.BOC if value is FeatureKind.VCO else FeatureKind.VCO
+            )
+        elif isinstance(value, bool):
+            bumped = not value
+        elif isinstance(value, int):
+            bumped = value + 1
+        elif isinstance(value, float):
+            bumped = value * 0.5 + 0.011
+        elif field_name == "fusion_mode":
+            bumped = "exact"
+        elif field_name.endswith("normalization"):
+            bumped = "sum" if value != "sum" else "none"
+        else:  # pragma: no cover
+            pytest.fail(f"unhandled field type for {field_name}")
+        changed = dataclasses.replace(base, **{field_name: bumped})
+        assert cache_key("fence", base) != cache_key("fence", changed)
