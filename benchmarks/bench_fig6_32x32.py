@@ -1,0 +1,96 @@
+"""Figure 6 at 32x32: the first two-attacker closed-loop sweep at this scale.
+
+The SoA simulator backend makes a 32x32 mesh practical (the object backend
+costs ~7 ms/cycle under flood here — a single defended episode alone would
+take over a minute of pure stepping).  This bench trains a pipeline at
+32x32, runs the deterministic row-disjoint two-attacker flood sweep under
+the quarantine policy, and records the outcome plus the end-to-end
+wall-clock in ``benchmarks/results/fig6_multi_attack_32x32.{txt,json}``.
+
+The run takes several minutes, so it is gated behind ``REPRO_RUN_32X32=1``
+(the nightly workflow's 32x32 smoke job sets it; the recorded artifacts are
+committed so the numbers are always visible).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.defense.policy import MitigationPolicy
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.mitigation import run_mitigation_sweep
+from repro.experiments.tables import format_rows
+
+from bench_utils import write_json_result, write_result
+
+# 32x32 operating point: larger meshes run a lower per-node benign rate
+# (bisection-limited — at 0.02 the ambient congestion buries a single-flow
+# flood), and the detector needs a wider spread of training scenarios to
+# generalize across the 1024-node placement space.
+MESH_32_CONFIG = ExperimentConfig(
+    rows=32,
+    benign_injection_rate=0.01,
+    sample_period=256,
+    samples_per_run=6,
+    scenarios_per_benchmark=12,
+    detector_epochs=80,
+    localizer_epochs=70,
+    seed=7,
+)
+SWEEP_FIR = 0.5
+POLICIES = (
+    MitigationPolicy.quarantine(engage_after=2, release_after=6, flush_queue=True),
+)
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_RUN_32X32", "") != "1",
+    reason="32x32 sweep takes minutes; set REPRO_RUN_32X32=1 (nightly smoke job)",
+)
+def test_fig6_multi_attack_32x32():
+    """Two concurrent FIR-0.5 floods on a 32x32 mesh, both fenced."""
+    start = time.perf_counter()
+    points = run_mitigation_sweep(
+        firs=(SWEEP_FIR,),
+        rows_values=(32,),
+        policies=POLICIES,
+        config=MESH_32_CONFIG,
+        num_flows=2,
+    )
+    wall_clock = time.perf_counter() - start
+
+    rows = [point.as_dict() for point in points]
+    per_attacker = "\n".join(
+        f"{point.policy}: per-attacker detection latency "
+        f"{point.per_attacker_detection_latency}, "
+        f"time-to-full-containment {point.time_to_full_containment} cycles, "
+        f"{point.localization_rounds} round(s)"
+        for point in points
+    )
+    summary = (
+        f"\nmesh: 32x32, benign workload: uniform_random, 2 concurrent "
+        f"attackers on disjoint victims @ FIR {SWEEP_FIR} "
+        f"(REPRO_SIM_BACKEND={os.environ.get('REPRO_SIM_BACKEND', 'soa')})\n"
+        + per_attacker
+        + f"\nend-to-end sweep wall-clock: {wall_clock:8.1f} s"
+    )
+    write_result("fig6_multi_attack_32x32", format_rows(rows) + summary)
+    write_json_result(
+        "fig6_multi_attack_32x32",
+        {
+            "mesh_rows": 32,
+            "fir": SWEEP_FIR,
+            "num_flows": 2,
+            "benchmark": "uniform_random",
+            "wall_clock_seconds": wall_clock,
+            "points": rows,
+        },
+    )
+
+    for point in points:
+        assert point.num_attackers == 2
+        # Both attackers must end up fenced at the paper-beating scale.
+        assert point.attackers_fenced == 2
+        assert point.time_to_full_containment is not None
+        assert point.mitigated_latency < point.unmitigated_latency

@@ -47,6 +47,7 @@ from repro.experiments.mitigation import run_mitigation_sweep
 from repro.experiments.tables import format_rows
 from repro.monitor.features import FeatureKind
 from repro.nn.dtype import use_dtype
+from repro.noc.backend import resolve_backend
 from repro.runtime.cache import ArtifactCache
 from repro.runtime.engine import ExperimentEngine
 from repro.runtime.parallel import ParallelRunner
@@ -165,6 +166,7 @@ def main(argv: list[str] | None = None) -> dict:
             "detector_epochs": config.detector_epochs,
             "localizer_epochs": config.localizer_epochs,
             "seed": config.seed,
+            "sim_backend": resolve_backend(),
         },
         "machine": {
             "cpu_count": os.cpu_count(),

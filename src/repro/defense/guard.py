@@ -8,6 +8,17 @@ stream, pushes every sampling window through the trained detector/localizer
 injection rate-limit hook on the mesh's source queues for every node the
 Table-Like Method pins as an attacker.
 
+The countermeasure surface is backend-agnostic: ``set_injection_limit`` /
+``flush_source_queue`` exist on both the object mesh and the vectorized
+structure-of-arrays backend (where a limit update writes the per-node
+limit/credit arrays the injection kernel gates on), and both backends feed
+the guard identical windows and delivered-packet streams — a defended
+episode produces the same :class:`DefenseReport` under either
+``REPRO_SIM_BACKEND`` value (pinned by
+``tests/noc/test_soa_equivalence.py``).  Reports round-trip losslessly
+through :meth:`DefenseReport.to_payload`, which is what the experiment
+engine's per-episode cache stores.
+
 Engagement and release follow the hysteresis of the configured
 :class:`~repro.defense.policy.MitigationPolicy` so a single noisy window can
 neither trip nor lift the fence, and nodes that stop being re-flagged roll

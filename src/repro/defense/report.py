@@ -11,6 +11,7 @@ engagement, and collateral damage to throttled-but-innocent nodes.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
 
@@ -403,6 +404,53 @@ class DefenseReport:
             },
             "summary": {key: scrub(value) for key, value in self.summary().items()},
         }
+
+    # -- lossless (de)serialization -------------------------------------------
+    def to_payload(self) -> dict:
+        """Full-fidelity dict for the artifact cache (inverse: ``from_payload``).
+
+        Unlike :meth:`as_dict` — a read-only view with derived metrics and
+        NaN scrubbing — this payload round-trips the report exactly, so a
+        cached mitigation episode reproduces every downstream metric bit
+        for bit.
+        """
+        return {
+            "policy": dataclasses.asdict(self.policy),
+            "sample_period": self.sample_period,
+            "attack_start": self.attack_start,
+            "attack_end": self.attack_end,
+            "true_attackers": list(self.true_attackers),
+            "windows": [dataclasses.asdict(window) for window in self.windows],
+            "events": [dataclasses.asdict(event) for event in self.events],
+        }
+
+    @classmethod
+    def from_payload(cls, data: dict) -> "DefenseReport":
+        """Rebuild a report stored with :meth:`to_payload`."""
+        windows = [
+            WindowRecord(
+                **{
+                    **window,
+                    "victims": tuple(window["victims"]),
+                    "attackers": tuple(window["attackers"]),
+                    "restricted": tuple(window["restricted"]),
+                }
+            )
+            for window in data["windows"]
+        ]
+        events = [
+            DefenseEvent(**{**event, "nodes": tuple(event["nodes"])})
+            for event in data["events"]
+        ]
+        return cls(
+            policy=MitigationPolicy(**data["policy"]),
+            sample_period=int(data["sample_period"]),
+            attack_start=data["attack_start"],
+            attack_end=data["attack_end"],
+            true_attackers=tuple(int(node) for node in data["true_attackers"]),
+            windows=windows,
+            events=events,
+        )
 
     def format_timeline(self) -> str:
         """Human-readable per-window timeline followed by the event log."""

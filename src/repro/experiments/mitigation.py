@@ -19,6 +19,7 @@ PARSEC workloads (see :mod:`benchmarks.bench_fig6_mitigation_recovery`).
 from __future__ import annotations
 
 import dataclasses
+import json
 from dataclasses import dataclass, field, replace
 
 from repro.core.config import DL2FenceConfig
@@ -32,7 +33,7 @@ from repro.monitor.sampler import MonitorConfig
 from repro.nn.dtype import default_dtype
 from repro.noc.simulator import NoCSimulator
 from repro.noc.stats import LatencyStats
-from repro.runtime.engine import ExperimentEngine
+from repro.runtime.engine import ExperimentEngine, fence_cache_payload
 from repro.traffic.flooding import FloodingAttacker, FloodingConfig
 from repro.traffic.scenario import AttackScenario, MultiAttackScenario
 
@@ -430,6 +431,92 @@ class _SweepTask:
     baseline: float | None = None
 
 
+def _fence_key_payload(
+    experiment: ExperimentConfig, training_benchmarks: tuple[str, ...]
+) -> dict:
+    """The training configuration that identifies a sweep's fence.
+
+    Built by the same :func:`repro.runtime.engine.fence_cache_payload`
+    helper :meth:`ExperimentEngine.trained_fence` keys its cache entry
+    with (same arguments as :func:`train_defense_pipeline` passes), so
+    per-episode entries are shared exactly when the pipeline defending
+    them is the same.
+    """
+    return fence_cache_payload(
+        experiment.dataset_config(),
+        DL2FenceConfig(seed=experiment.seed),
+        list(training_benchmarks),
+        experiment.scenarios_per_benchmark,
+        (1, 2),
+        experiment.seed,
+        experiment.detector_epochs,
+        experiment.localizer_epochs,
+    )
+
+
+def _task_cache_payload(task: _SweepTask, fence_key: dict) -> tuple[str, dict]:
+    """(cache kind, payload) of one sweep task's per-episode cache entry.
+
+    The fence object itself cannot enter a cache key; its training
+    configuration (``fence_key``) stands in for it.  The pre-computed
+    baseline latency is deliberately excluded — it does not influence the
+    simulated episode, only later table assembly.
+    """
+    payload = {
+        "config": task.dataset_config,
+        "benchmark": task.benchmark,
+        "fir": task.fir,
+        "scenario": task.scenario,
+        "attack_windows": task.attack_windows,
+        "flow_fir_profile": task.flow_fir_profile,
+        "dtype": default_dtype(),
+    }
+    if task.kind == "unmitigated":
+        return "unmitigated-latency", payload
+    payload["policy"] = task.policy
+    payload["fence"] = fence_key
+    return "mitigation-episode", payload
+
+
+def _fetch_task_result(engine: ExperimentEngine, kind: str, payload: dict):
+    """Load one cached episode result (None on miss)."""
+    if kind == "unmitigated-latency":
+        return engine.cache.fetch(
+            kind,
+            payload,
+            lambda directory: float(
+                json.loads((directory / "value.json").read_text())["value"]
+            ),
+        )
+    return engine.cache.fetch(
+        kind,
+        payload,
+        lambda directory: DefenseReport.from_payload(
+            json.loads((directory / "report.json").read_text())
+        ),
+    )
+
+
+def _store_task_result(engine: ExperimentEngine, kind: str, payload: dict, result):
+    """Persist one episode result into the per-episode cache."""
+    if kind == "unmitigated-latency":
+        engine.cache.store(
+            kind,
+            payload,
+            lambda directory: (directory / "value.json").write_text(
+                json.dumps({"value": float(result)})
+            ),
+        )
+    else:
+        engine.cache.store(
+            kind,
+            payload,
+            lambda directory: (directory / "report.json").write_text(
+                json.dumps(result.to_payload())
+            ),
+        )
+
+
 def _run_sweep_task(task: _SweepTask):
     """Execute one sweep simulation (module-level for worker processes)."""
     builder = DatasetBuilder(task.dataset_config)
@@ -575,7 +662,23 @@ def _compute_mitigation_points(
                         baseline=mesh_baseline,
                     )
                 )
-        results = iter(engine.runner.map(_run_sweep_task, tasks))
+        # Per-episode caching: each task is memoised individually (like
+        # scenario runs), so changing one FIR — or adding a policy — only
+        # simulates the episodes that are actually new.
+        fence_key = _fence_key_payload(experiment, training_benchmarks)
+        cache_keys = [_task_cache_payload(task, fence_key) for task in tasks]
+        cached = [
+            _fetch_task_result(engine, kind, payload) for kind, payload in cache_keys
+        ]
+        missing = [index for index, value in enumerate(cached) if value is None]
+        fresh = engine.runner.map(
+            _run_sweep_task, [tasks[index] for index in missing]
+        )
+        for index, value in zip(missing, fresh):
+            cached[index] = value
+            kind, payload = cache_keys[index]
+            _store_task_result(engine, kind, payload, value)
+        results = iter(cached)
         for fir in firs:
             unmitigated = next(results)
             flow_firs = scaled_flow_firs(profile, fir) if profile else ()

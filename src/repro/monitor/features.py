@@ -71,8 +71,13 @@ def extract_feature_frame(
     The returned array has the natural directional shape of
     :func:`frame_shape`; rows index the mesh Y coordinate and columns the X
     coordinate of the router owning the port (shifted for W/S so the frame is
-    dense).
+    dense).  A backend exposing a ``feature_frame`` fast path (the SoA
+    backend reads frames straight out of its counter arrays) bypasses the
+    router walk entirely.
     """
+    fast_path = getattr(network, "feature_frame", None)
+    if fast_path is not None:
+        return fast_path(direction, kind)
     topology = network.topology
     rows, cols = frame_shape(topology, direction)
     frame = np.zeros((rows, cols), dtype=np.float64)
@@ -97,8 +102,13 @@ def extract_feature_frames(
     Equivalent to calling :func:`extract_feature_frame` once per cardinal
     direction, but visits every router exactly once — the batched fast path
     the global performance monitor uses, which matters at the paper's 16x16
-    scale where a sample touches ~1200 ports.
+    scale where a sample touches ~1200 ports.  On the SoA backend the frames
+    are sliced straight out of the flat counter arrays with no per-router
+    loop at all.
     """
+    fast_path = getattr(network, "feature_frames", None)
+    if fast_path is not None:
+        return fast_path(kind)
     topology = network.topology
     frames = {
         direction: np.zeros(frame_shape(topology, direction), dtype=np.float64)

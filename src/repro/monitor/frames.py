@@ -6,6 +6,13 @@ the four directional frames of both features taken at the same sampling
 instant, which is the unit the DL2Fence detector consumes.  Zero-padding back
 to the full mesh geometry (Algorithm 1, line 3) lives here because both the
 ground-truth labelling and the Multi-Frame Fusion stage need it.
+
+How the ``values`` arrays are produced depends on the simulator backend:
+the object mesh walks every router's input ports, while the default SoA
+backend slices the frames straight out of its flat per-port counter arrays
+(:meth:`repro.noc.soa.SoAMeshNetwork.feature_frames`) with no router walk —
+both yield bit-identical matrices, so everything downstream of this module
+is backend-agnostic.
 """
 
 from __future__ import annotations

@@ -13,6 +13,13 @@ observables the DL2Fence monitors consume:
 The router model is a simplified wormhole-switched input-queued router with
 per-port virtual channels and dimension-ordered (XY) routing, which is the
 configuration used throughout the paper.
+
+Two interchangeable backends implement the mesh: the ``object`` model
+(:class:`MeshNetwork`, routers/VCs/flits as Python objects — the readable
+reference) and the default ``soa`` model (:class:`SoAMeshNetwork`, flat
+NumPy state arrays advanced by vectorized kernels).  They are pinned
+fingerprint-identical; select with ``REPRO_SIM_BACKEND`` or
+``SimulationConfig(backend=...)``.
 """
 
 from repro.noc.topology import Direction, MeshTopology
@@ -25,10 +32,14 @@ from repro.noc.routing import (
 )
 from repro.noc.router import InputPort, Router, VirtualChannel
 from repro.noc.network import MeshNetwork
+from repro.noc.soa import SoAMeshNetwork
+from repro.noc.backend import BACKENDS, DEFAULT_BACKEND, build_network, resolve_backend
 from repro.noc.simulator import NoCSimulator, SimulationConfig
 from repro.noc.stats import LatencyStats, NetworkStats
 
 __all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
     "Direction",
     "Flit",
     "FlitType",
@@ -41,7 +52,10 @@ __all__ = [
     "Packet",
     "Router",
     "SimulationConfig",
+    "SoAMeshNetwork",
     "VirtualChannel",
+    "build_network",
+    "resolve_backend",
     "reverse_xy_sources",
     "xy_next_direction",
     "xy_route_path",

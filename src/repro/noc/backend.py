@@ -1,0 +1,62 @@
+"""Simulator backend selection (``REPRO_SIM_BACKEND``).
+
+Two interchangeable mesh-network implementations exist:
+
+* ``soa`` (default) — :class:`repro.noc.soa.SoAMeshNetwork`, the vectorized
+  structure-of-arrays backend whose per-cycle kernels run on flat NumPy
+  arrays;
+* ``object`` — :class:`repro.noc.network.MeshNetwork`, the original
+  router/VC/flit object model, kept as the readable reference the SoA
+  backend is fingerprint-pinned against.
+
+Both produce bit-identical feature frames, latency statistics and defense
+reports for the same seeds (``tests/noc/test_soa_equivalence.py``), so the
+choice is purely a performance knob.  Precedence: an explicit
+``SimulationConfig(backend=...)`` beats the ``REPRO_SIM_BACKEND``
+environment variable, which beats the default.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.noc.network import MeshNetwork
+from repro.noc.soa import SoAMeshNetwork
+from repro.noc.topology import MeshTopology
+
+__all__ = ["BACKENDS", "DEFAULT_BACKEND", "resolve_backend", "build_network"]
+
+BACKENDS = ("soa", "object")
+DEFAULT_BACKEND = "soa"
+
+
+def resolve_backend(explicit: str = "") -> str:
+    """Backend name from an explicit override, the environment, or default."""
+    name = (explicit or os.environ.get("REPRO_SIM_BACKEND", "")).strip().lower()
+    if not name:
+        name = DEFAULT_BACKEND
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown simulator backend {name!r}; expected one of {BACKENDS}"
+        )
+    return name
+
+
+def build_network(
+    topology: MeshTopology,
+    backend: str = "",
+    num_vcs: int = 4,
+    vc_depth: int = 4,
+    injection_bandwidth: int = 1,
+    source_queue_capacity: int = 512,
+) -> MeshNetwork | SoAMeshNetwork:
+    """Instantiate the selected mesh-network backend."""
+    name = resolve_backend(backend)
+    network_cls = SoAMeshNetwork if name == "soa" else MeshNetwork
+    return network_cls(
+        topology,
+        num_vcs=num_vcs,
+        vc_depth=vc_depth,
+        injection_bandwidth=injection_bandwidth,
+        source_queue_capacity=source_queue_capacity,
+    )

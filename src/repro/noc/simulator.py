@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Protocol
 
-from repro.noc.network import MeshNetwork
+from repro.noc.backend import BACKENDS, build_network, resolve_backend
 from repro.noc.packet import Packet
 from repro.noc.stats import LatencyStats
 from repro.noc.topology import MeshTopology
@@ -49,6 +49,9 @@ class SimulationConfig:
     source_queue_capacity: int = 512
     warmup_cycles: int = 64
     seed: int = 0
+    #: Simulator backend: "" resolves REPRO_SIM_BACKEND (default "soa");
+    #: "object" forces the router/VC/flit reference model.
+    backend: str = ""
 
     def __post_init__(self) -> None:
         if self.columns == 0:
@@ -57,6 +60,11 @@ class SimulationConfig:
             raise ValueError("mesh dimensions must be positive")
         if self.warmup_cycles < 0:
             raise ValueError("warmup_cycles must be non-negative")
+        if self.backend and self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown simulator backend {self.backend!r}; "
+                f"expected one of {BACKENDS}"
+            )
 
     def topology(self) -> MeshTopology:
         return MeshTopology(rows=self.rows, columns=self.columns)
@@ -68,8 +76,10 @@ class NoCSimulator:
     def __init__(self, config: SimulationConfig | None = None) -> None:
         self.config = config or SimulationConfig()
         self.topology = self.config.topology()
-        self.network = MeshNetwork(
+        self.backend = resolve_backend(self.config.backend)
+        self.network = build_network(
             self.topology,
+            backend=self.backend,
             num_vcs=self.config.num_vcs,
             vc_depth=self.config.vc_depth,
             injection_bandwidth=self.config.injection_bandwidth,
@@ -78,6 +88,10 @@ class NoCSimulator:
         self.sources: list[TrafficSource] = []
         self.cycle = 0
         self._observers: list[tuple[int, Callable[["NoCSimulator"], None]]] = []
+        # Array ingress: when both the source and the backend support batch
+        # transfer, one vectorized hand-off per source replaces the
+        # per-packet enqueue loop (same packets, same RNG stream).
+        self._batch_ingress = hasattr(self.network, "enqueue_batch")
 
     # -- wiring ------------------------------------------------------------
     def add_source(self, source: TrafficSource) -> None:
@@ -116,10 +130,26 @@ class NoCSimulator:
     # -- execution ------------------------------------------------------------
     def step(self) -> None:
         """Advance the simulation by a single cycle."""
+        cycle = self.cycle
+        network = self.network
+        batch_ingress = self._batch_ingress
         for source in self.sources:
-            for packet in source.packets_for_cycle(self.cycle):
-                self.network.enqueue_packet(packet)
-        self.network.step(self.cycle)
+            batch_fn = (
+                getattr(source, "packet_batch_for_cycle", None)
+                if batch_ingress
+                else None
+            )
+            if batch_fn is not None:
+                batch = batch_fn(cycle)
+                if batch is not None:
+                    sources, destinations, size_flits, malicious = batch
+                    network.enqueue_batch(
+                        sources, destinations, size_flits, cycle, malicious
+                    )
+                continue
+            for packet in source.packets_for_cycle(cycle):
+                network.enqueue_packet(packet)
+        network.step(cycle)
         post_warmup = self.cycle - self.config.warmup_cycles
         if post_warmup >= 0:
             for period, callback in self._observers:

@@ -1,0 +1,771 @@
+"""Structure-of-arrays mesh network backend (vectorized hot path).
+
+:class:`SoAMeshNetwork` is a drop-in replacement for
+:class:`repro.noc.network.MeshNetwork` whose per-cycle state lives in flat
+NumPy arrays — per-VC ring buffers of packed flit words, per-port
+occupancy/BOC counters, per-node source-queue rings, injection credits and
+a precomputed XY next-hop table — updated by the vectorized kernels of
+:mod:`repro.noc.soa_step`.  It exposes the same ``MeshNetwork``-facing
+surface the monitor and defense layers use (``enqueue_packet``, ``step``,
+``set_injection_limit`` / ``flush_source_queue``, stats, frame counters) and
+is pinned behavior-fingerprint-identical to the object backend: the same
+seeds produce the same feature frames and the same
+``DefenseReport.as_dict()``.
+
+Packet objects still exist — they are registered once at ``enqueue_packet``
+and surfaced again at head-injection and tail-ejection so the latency
+statistics (:class:`~repro.noc.stats.NetworkStats`) stay shared with the
+object backend — but no per-flit or per-router Python object is touched
+while the network advances.
+
+The backend is selected through ``REPRO_SIM_BACKEND`` (``soa``, the
+default, or ``object``) or explicitly via
+``SimulationConfig(backend=...)``; see :func:`repro.noc.backend.resolve_backend`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.noc import soa_step
+from repro.noc.packet import Packet
+from repro.noc.soa_step import FIDX_MASK, KEY_PERIOD, PKT_SHIFT, TAIL_BIT
+from repro.noc.stats import NetworkStats
+from repro.noc.topology import Direction, MeshTopology
+
+__all__ = ["SoAMeshNetwork", "DIRECTION_INDEX", "mesh_tables"]
+
+#: Fixed direction→axis-index mapping of every per-port array: the LOCAL
+#: port first, then the paper's E, N, W, S cardinal order.
+DIRECTION_INDEX: dict[Direction, int] = {
+    Direction.LOCAL: 0,
+    Direction.EAST: 1,
+    Direction.NORTH: 2,
+    Direction.WEST: 3,
+    Direction.SOUTH: 4,
+}
+_INDEX_DIRECTION = {index: direction for direction, index in DIRECTION_INDEX.items()}
+
+
+@dataclass(frozen=True)
+class MeshTables:
+    """Static per-topology lookup tables shared by every SoA network.
+
+    ``route[n, d]`` is the XY output direction (as a :data:`DIRECTION_INDEX`
+    value) chosen at node ``n`` for destination ``d`` — the precomputed
+    next-hop table that replaces per-flit routing calls.
+    """
+
+    neighbor: np.ndarray  # (N, 5) int64, -1 at the mesh edge
+    port_exists: np.ndarray  # (N, 5) bool, input ports present per node
+    port_pos: np.ndarray  # (N, 5) int64, position in the router's port list
+    nports: np.ndarray  # (N,) int64
+    route: np.ndarray  # (N, N) int16, XY next-hop direction index
+    opposite: np.ndarray  # (5,) int64, direction seen from the other side
+
+
+@dataclass(frozen=True)
+class _VcTables:
+    """Per-(topology, num_vcs) candidate lookup tables of the switch kernel.
+
+    Indexed by the flat VC id ``q = (node * 5 + port) * num_vcs + vc``:
+
+    * ``q_node`` / ``q_port`` / ``q_node5`` / ``q_node_base`` — the owning
+      node, flat port id, ``node * 5`` and ``node * N`` of each VC;
+    * ``key_table[phase, q]`` — the rotation-arbitration priority key
+      (``rank * num_vcs + vc``) of each VC for every one of the
+      :data:`~repro.noc.soa_step.KEY_PERIOD` arbitration phases;
+    * ``down_port[node * 5 + out_dir]`` — flat port id of the downstream
+      input port reached through ``out_dir`` (-1 at edges / LOCAL);
+    * ``route_slot[node * N + dest]`` — the fused XY lookup yielding the
+      arbitration slot id ``node * 5 + out_dir`` in a single gather.
+    """
+
+    q_node: np.ndarray
+    q_port: np.ndarray
+    q_node5: np.ndarray
+    q_node_base: np.ndarray
+    key_table: np.ndarray
+    down_port: np.ndarray
+    route_slot: np.ndarray
+
+
+_TABLES_CACHE: dict[tuple[int, int], MeshTables] = {}
+_VC_TABLES_CACHE: dict[tuple[int, int, int], _VcTables] = {}
+
+
+def mesh_tables(topology: MeshTopology) -> MeshTables:
+    """Build (or reuse) the static lookup tables for ``topology``."""
+    cache_key = (topology.rows, topology.columns)
+    cached = _TABLES_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+
+    rows, cols = topology.rows, topology.columns
+    num_nodes = rows * cols
+    ids = np.arange(num_nodes, dtype=np.int64)
+    x = ids % cols
+    y = ids // cols
+
+    neighbor = np.full((num_nodes, 5), -1, dtype=np.int64)
+    neighbor[:, DIRECTION_INDEX[Direction.LOCAL]] = ids
+    neighbor[x < cols - 1, DIRECTION_INDEX[Direction.EAST]] = ids[x < cols - 1] + 1
+    neighbor[y < rows - 1, DIRECTION_INDEX[Direction.NORTH]] = ids[y < rows - 1] + cols
+    neighbor[x > 0, DIRECTION_INDEX[Direction.WEST]] = ids[x > 0] - 1
+    neighbor[y > 0, DIRECTION_INDEX[Direction.SOUTH]] = ids[y > 0] - cols
+
+    port_exists = neighbor >= 0
+    port_exists[:, DIRECTION_INDEX[Direction.LOCAL]] = True
+
+    # Port list order of the object backend's Router: LOCAL first, then the
+    # existing input directions in cardinal (E, N, W, S) order.
+    port_pos = np.full((num_nodes, 5), -1, dtype=np.int64)
+    port_pos[:, 0] = 0
+    cardinal = port_exists[:, 1:5].astype(np.int64)
+    port_pos[:, 1:5] = np.where(port_exists[:, 1:5], np.cumsum(cardinal, axis=1), -1)
+    nports = 1 + cardinal.sum(axis=1)
+
+    cx, dx = x[:, None], x[None, :]
+    cy, dy = y[:, None], y[None, :]
+    route = np.where(
+        cx < dx,
+        DIRECTION_INDEX[Direction.EAST],
+        np.where(
+            cx > dx,
+            DIRECTION_INDEX[Direction.WEST],
+            np.where(
+                cy < dy,
+                DIRECTION_INDEX[Direction.NORTH],
+                np.where(cy > dy, DIRECTION_INDEX[Direction.SOUTH], 0),
+            ),
+        ),
+    ).astype(np.int16)
+
+    opposite = np.array([0, 3, 4, 1, 2], dtype=np.int64)  # L, E→W, N→S, W→E, S→N
+
+    tables = MeshTables(
+        neighbor=neighbor,
+        port_exists=port_exists,
+        port_pos=port_pos,
+        nports=nports,
+        route=route,
+        opposite=opposite,
+    )
+    _TABLES_CACHE[cache_key] = tables
+    return tables
+
+
+def _vc_tables(topology: MeshTopology, num_vcs: int) -> _VcTables:
+    """Build (or reuse) the per-VC lookup tables of the switch kernel."""
+    cache_key = (topology.rows, topology.columns, num_vcs)
+    cached = _VC_TABLES_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+
+    tables = mesh_tables(topology)
+    num_nodes = topology.num_nodes
+    num_slots = num_nodes * 5 * num_vcs
+    q = np.arange(num_slots, dtype=np.int64)
+    q_node = q // (5 * num_vcs)
+    port_dir = (q // num_vcs) % 5
+    vci = (q % num_vcs).astype(np.int32)
+
+    pos = tables.port_pos[q_node, port_dir]
+    nports = tables.nports[q_node]
+    key_table = np.empty((KEY_PERIOD, num_slots), dtype=np.int32)
+    for phase in range(KEY_PERIOD):
+        rank = (pos - phase % nports) % nports
+        key_table[phase] = rank.astype(np.int32) * num_vcs + vci
+
+    down_port = np.full(num_nodes * 5, -1, dtype=np.int64)
+    for direction in range(1, 5):
+        targets = tables.neighbor[:, direction]
+        valid = targets >= 0
+        down_port[np.nonzero(valid)[0] * 5 + direction] = (
+            targets[valid] * 5 + tables.opposite[direction]
+        )
+
+    node_ids = np.arange(num_nodes, dtype=np.int64)
+    route_slot = np.ascontiguousarray(
+        (node_ids[:, None] * 5 + tables.route).reshape(-1).astype(np.int32)
+    )
+
+    built = _VcTables(
+        q_node=q_node,
+        q_port=q // num_vcs,
+        q_node5=q_node * 5,
+        q_node_base=q_node * num_nodes,
+        key_table=key_table,
+        down_port=down_port,
+        route_slot=route_slot,
+    )
+    _VC_TABLES_CACHE[cache_key] = built
+    return built
+
+
+class SoAMeshNetwork:
+    """A 2-D mesh with XY wormhole switching on flat NumPy state arrays."""
+
+    backend_name = "soa"
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        num_vcs: int = 4,
+        vc_depth: int = 4,
+        injection_bandwidth: int = 1,
+        source_queue_capacity: int = 512,
+    ) -> None:
+        if injection_bandwidth < 1:
+            raise ValueError("injection_bandwidth must be >= 1")
+        if source_queue_capacity < 1:
+            raise ValueError("source_queue_capacity must be >= 1")
+        if num_vcs < 1:
+            raise ValueError("num_vcs must be >= 1")
+        if vc_depth < 1:
+            raise ValueError("virtual channel depth must be >= 1")
+        self.topology = topology
+        self.num_vcs = num_vcs
+        self.vc_depth = vc_depth
+        self.injection_bandwidth = injection_bandwidth
+        self.source_queue_capacity = source_queue_capacity
+        self.stats = NetworkStats()
+        self.dropped_packets = 0
+
+        num_nodes = topology.num_nodes
+        num_ports = num_nodes * 5
+        num_vc_slots = num_ports * num_vcs
+        self._tables = mesh_tables(topology)
+        vc_tables = _vc_tables(topology, num_vcs)
+        self._q_node = vc_tables.q_node
+        self._q_port = vc_tables.q_port
+        self._q_node5 = vc_tables.q_node5
+        self._q_node_base = vc_tables.q_node_base
+        self._key_table = vc_tables.key_table
+        self._down_port = vc_tables.down_port
+        self._route_slot = vc_tables.route_slot
+        self._arange_vcs = np.arange(num_vcs, dtype=np.int64)
+        self._best_key = np.empty(num_ports, dtype=np.int32)
+        # Continuation-VC cache per node: the LOCAL VC the most recent head
+        # flit was injected into (see soa_step._inject_pass).
+        self._node_vc = np.zeros(num_nodes, dtype=np.int64)
+        # First free (= unallocated) VC index per port, or num_vcs when the
+        # port has no free VC.  Maintained incrementally by the kernels:
+        # head pushes trigger a recompute of their port, tail pops lower the
+        # index.  Replaces the per-candidate free-VC grid search.
+        self._port_first_free = np.zeros(num_ports, dtype=np.int16)
+
+        # Virtual channels: fixed-depth ring buffers of packed flit words
+        # (packet id << 21 | tail bit << 20 | flit index).
+        if vc_depth >= 1 << 15:
+            raise ValueError("vc_depth too large for the SoA ring index dtype")
+        self._vc_slots = np.zeros(num_vc_slots * vc_depth, dtype=np.int64)
+        self._vc_head = np.zeros(num_vc_slots, dtype=np.int16)
+        self._vc_count = np.zeros(num_vc_slots, dtype=np.int16)
+        self._vc_alloc = np.full(num_vc_slots, -1, dtype=np.int32)
+        self._vc_down = np.full(num_vc_slots, -1, dtype=np.int32)
+
+        # Per-port observables (VCO/BOC counters of the DL2Fence monitor).
+        # When num_vcs is a power of two, every per-cycle ``occupied/V``
+        # term — and every partial sum of them — is exactly representable
+        # in float64, so windowed occupancy can accumulate as plain integers
+        # and divide once at read time, bit-identical to the object
+        # backend's per-cycle float accumulation.
+        self._buf_writes = np.zeros(num_ports, dtype=np.int64)
+        self._buf_reads = np.zeros(num_ports, dtype=np.int64)
+        self._occupied = np.zeros(num_ports, dtype=np.int64)
+        self._occ_exact = num_vcs & (num_vcs - 1) == 0
+        self._occ_sum_int = np.zeros(num_ports, dtype=np.int64)
+        self._occ_sum = np.zeros(num_ports, dtype=np.float64)
+        self._occ_tmp = np.empty(num_ports, dtype=np.float64)
+        self._occ_samples = 0
+
+        # Per-router ejection counters.
+        self._flits_ejected = np.zeros(num_nodes, dtype=np.int64)
+        self._packets_ejected = np.zeros(num_nodes, dtype=np.int64)
+
+        # Source-queue rings of packed flit words awaiting injection.
+        self._sq_vals = np.zeros((num_nodes, source_queue_capacity), dtype=np.int64)
+        self._sq_flat = self._sq_vals.reshape(-1)  # shared-memory flat view
+        self._sq_head = np.zeros(num_nodes, dtype=np.int64)
+        self._sq_count = np.zeros(num_nodes, dtype=np.int64)
+
+        # Injection rate limiting (defense hook) — see MeshNetwork.
+        self._limits = np.ones(num_nodes, dtype=np.float64)
+        self._allowance = np.zeros(num_nodes, dtype=np.float64)
+        self._limited_idx = np.empty(0, dtype=np.int64)
+
+        # Packet registry: the Python objects (for the shared NetworkStats)
+        # plus the per-packet fields the kernels need as arrays.
+        self._packets: list[Packet] = []
+        self._pkt_dest = _GrowableInt()
+        self._pkt_injected = _GrowableInt()
+        self._flit_templates: dict[int, np.ndarray] = {}
+
+    # -- injection interface ------------------------------------------------
+    def enqueue_packet(self, packet: Packet) -> bool:
+        """Queue a packet's flits at its source node (drop when full)."""
+        node = packet.source
+        size = packet.size_flits
+        capacity = self.source_queue_capacity
+        count = int(self._sq_count[node])
+        if count + size > capacity:
+            self.dropped_packets += 1
+            return False
+        self.stats.record_created(packet)
+        pid = len(self._packets)
+        self._packets.append(packet)
+        self._pkt_dest.append(packet.destination)
+        self._pkt_injected.append(
+            -1 if packet.injected_cycle is None else packet.injected_cycle
+        )
+        template = self._flit_templates.get(size)
+        if template is None:
+            template = np.arange(size, dtype=np.int64)
+            template[-1] += TAIL_BIT
+            self._flit_templates[size] = template
+        values = (pid << PKT_SHIFT) + template
+        start = (int(self._sq_head[node]) + count) % capacity
+        end = start + size
+        if end <= capacity:
+            self._sq_vals[node, start:end] = values
+        else:
+            split = capacity - start
+            self._sq_vals[node, start:] = values[:split]
+            self._sq_vals[node, : end - capacity] = values[split:]
+        self._sq_count[node] = count + size
+        return True
+
+    def enqueue_batch(
+        self,
+        sources: np.ndarray,
+        destinations: np.ndarray,
+        size_flits: int,
+        cycle: int,
+        malicious: bool,
+    ) -> int:
+        """Queue one packet per (source, destination) pair in one sweep.
+
+        The vectorized ingress of :meth:`NoCSimulator.step` for sources
+        exposing ``packet_batch_for_cycle``: capacity checks, stat counters
+        and source-queue ring writes happen as array operations, with one
+        Packet object per accepted packet (the latency statistics and the
+        defense report read those).  Semantically identical to calling
+        :meth:`enqueue_packet` per packet; sources are expected to emit at
+        most one packet per node per cycle (duplicates fall back).
+        """
+        sources = np.asarray(sources)
+        count = sources.size
+        if count == 0:
+            return 0
+        if count < 12 or np.unique(sources).size != count:
+            # Small batches (or duplicate sources): the per-packet path beats
+            # the fixed cost of the array sweep.
+            accepted = 0
+            for source, destination in zip(sources.tolist(), destinations.tolist()):
+                accepted += self.enqueue_packet(
+                    Packet(
+                        source=source,
+                        destination=destination,
+                        size_flits=size_flits,
+                        created_cycle=cycle,
+                        is_malicious=malicious,
+                    )
+                )
+            return accepted
+        capacity = self.source_queue_capacity
+        fits = self._sq_count[sources] + size_flits <= capacity
+        if not fits.all():
+            self.dropped_packets += int(count - fits.sum())
+            sources = sources[fits]
+            destinations = destinations[fits]
+            count = sources.size
+            if count == 0:
+                return 0
+        packets = [
+            Packet(
+                source=source,
+                destination=destination,
+                size_flits=size_flits,
+                created_cycle=cycle,
+                is_malicious=malicious,
+            )
+            for source, destination in zip(sources.tolist(), destinations.tolist())
+        ]
+        stats = self.stats
+        stats.packets_created += count
+        if malicious:
+            stats.malicious_packets_created += count
+        first_pid = len(self._packets)
+        self._packets.extend(packets)
+        self._pkt_dest.extend(destinations)
+        self._pkt_injected.extend_fill(-1, count)
+        template = self._flit_templates.get(size_flits)
+        if template is None:
+            template = np.arange(size_flits, dtype=np.int64)
+            template[-1] += TAIL_BIT
+            self._flit_templates[size_flits] = template
+        pids = np.arange(first_pid, first_pid + count, dtype=np.int64)
+        starts = (self._sq_head[sources] + self._sq_count[sources]) % capacity
+        if (starts + size_flits <= capacity).all():
+            positions = (sources * capacity + starts)[:, None] + np.arange(size_flits)
+            self._sq_flat[positions] = (pids[:, None] << PKT_SHIFT) + template[None, :]
+        else:
+            values = (pids[:, None] << PKT_SHIFT) + template[None, :]
+            for row, (node, start) in enumerate(
+                zip(sources.tolist(), starts.tolist())
+            ):
+                end = start + size_flits
+                if end <= capacity:
+                    self._sq_vals[node, start:end] = values[row]
+                else:
+                    split = capacity - start
+                    self._sq_vals[node, start:] = values[row, :split]
+                    self._sq_vals[node, : end - capacity] = values[row, split:]
+        self._sq_count[sources] += size_flits
+        return count
+
+    # -- injection rate limiting (defense hook) -----------------------------
+    def set_injection_limit(self, node_id: int, fraction: float) -> None:
+        """Restrict ``node_id`` to ``fraction`` of the injection bandwidth."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("injection limit must be in [0, 1]")
+        if node_id not in self.topology:
+            raise ValueError(f"node {node_id} outside the {self.topology!r} mesh")
+        self._limits[node_id] = float(fraction)
+        # Changing the limit restarts the credit accumulator: credit accrued
+        # under an older, looser limit must not leak through a quarantine.
+        self._allowance[node_id] = 0.0
+        self._limited_idx = np.nonzero(self._limits < 1.0)[0]
+
+    def injection_limit(self, node_id: int) -> float:
+        """Current injection limit of ``node_id`` (1.0 = unrestricted)."""
+        return float(self._limits[node_id])
+
+    @property
+    def injection_limits(self) -> list[float]:
+        """Per-node injection limits (list view, like the object backend)."""
+        return self._limits.tolist()
+
+    def flush_source_queue(self, node_id: int) -> int:
+        """Discard not-yet-injected flits queued at ``node_id``'s interface.
+
+        Flits of packets whose head already entered the network are kept so
+        no headless worm is stranded inside the routers; fully dropped
+        packets count as drops.  Returns the number of flits discarded.
+        """
+        count = int(self._sq_count[node_id])
+        if count == 0:
+            return 0
+        slots = (self._sq_head[node_id] + np.arange(count)) % self.source_queue_capacity
+        values = self._sq_vals[node_id, slots]
+        pkts = values >> PKT_SHIFT
+        keep = self._pkt_injected.values[pkts] >= 0
+        kept = int(keep.sum())
+        self.dropped_packets += int(np.unique(pkts[~keep]).size)
+        self._sq_head[node_id] = 0
+        self._sq_count[node_id] = kept
+        if kept:
+            self._sq_vals[node_id, :kept] = values[keep]
+        return count - kept
+
+    def reset_injection_limits(self) -> None:
+        """Lift every injection restriction (full rollback)."""
+        self._limits.fill(1.0)
+        self._allowance.fill(0.0)
+        self._limited_idx = np.empty(0, dtype=np.int64)
+
+    @property
+    def restricted_nodes(self) -> list[int]:
+        """Nodes currently running under an injection limit below 1.0."""
+        return [int(node) for node in np.nonzero(self._limits < 1.0)[0]]
+
+    # -- cycle advance ------------------------------------------------------
+    def step(self, cycle: int) -> None:
+        """Advance the network by one cycle (inject, allocate, traverse)."""
+        soa_step.inject(self, cycle)
+        soa_step.switch(self, cycle)
+        # Garnet-style windowed occupancy: accumulate this cycle's occupied
+        # fraction per port, exactly as the object backend's per-port sweep.
+        if self._occ_exact:
+            self._occ_sum_int += self._occupied
+        else:
+            np.divide(self._occupied, float(self.num_vcs), out=self._occ_tmp)
+            self._occ_sum += self._occ_tmp
+        self._occ_samples += 1
+        self.stats.cycles = cycle + 1
+
+    # -- DL2Fence observables ------------------------------------------------
+    def feature_frame(self, direction: Direction, kind) -> np.ndarray:
+        """One directional feature frame, read straight off the counters."""
+        return self.feature_frames(kind)[direction]
+
+    def feature_frames(self, kind) -> dict[Direction, np.ndarray]:
+        """All four directional frames of one feature, no router walk.
+
+        The per-port counter arrays are sliced into the natural directional
+        geometries (east-most columns lack EAST input ports, etc.), exactly
+        matching :func:`repro.monitor.features.extract_feature_frames` on
+        the object backend.
+        """
+        from repro.monitor.features import FeatureKind
+
+        rows, cols = self.topology.rows, self.topology.columns
+        if kind is FeatureKind.VCO:
+            if self._occ_samples == 0:
+                values = self._occupied / float(self.num_vcs)
+            elif self._occ_exact:
+                values = (self._occ_sum_int / float(self.num_vcs)) / self._occ_samples
+            else:
+                values = self._occ_sum / self._occ_samples
+        else:
+            values = (self._buf_writes + self._buf_reads).astype(np.float64)
+        grid = values.reshape(self.topology.num_nodes, 5)
+
+        def plane(direction: Direction) -> np.ndarray:
+            return grid[:, DIRECTION_INDEX[direction]].reshape(rows, cols)
+
+        return {
+            Direction.EAST: plane(Direction.EAST)[:, : cols - 1].copy(),
+            Direction.NORTH: plane(Direction.NORTH)[: rows - 1, :].copy(),
+            Direction.WEST: plane(Direction.WEST)[:, 1:].copy(),
+            Direction.SOUTH: plane(Direction.SOUTH)[1:, :].copy(),
+        }
+
+    def reset_boc_counters(self) -> None:
+        """Reset every port's BOC and VCO accumulators (window boundary)."""
+        self._buf_writes.fill(0)
+        self._buf_reads.fill(0)
+        self._occ_sum_int.fill(0)
+        self._occ_sum.fill(0.0)
+        self._occ_samples = 0
+
+    # -- bookkeeping --------------------------------------------------------
+    @property
+    def in_flight_flits(self) -> int:
+        """Flits buffered anywhere in the network (excluding source queues)."""
+        return int(self._vc_count.sum())
+
+    @property
+    def queued_flits(self) -> int:
+        """Flits still waiting in source injection queues."""
+        return int(self._sq_count.sum())
+
+    @property
+    def drainable_queued_flits(self) -> int:
+        """Queued flits that can still legally enter the network.
+
+        Excludes new packets queued at quarantined nodes — by policy that
+        backlog can never inject (continuation flits of partially injected
+        packets still count, mirroring the injection gate).
+        """
+        total = 0
+        for node in np.nonzero(self._sq_count > 0)[0]:
+            count = int(self._sq_count[node])
+            if self._limits[node] > 0.0:
+                total += count
+                continue
+            slots = (
+                self._sq_head[node] + np.arange(count)
+            ) % self.source_queue_capacity
+            pkts = self._sq_vals[node, slots] >> PKT_SHIFT
+            total += int((self._pkt_injected.values[pkts] >= 0).sum())
+        return total
+
+    # -- object-backend compatibility views ---------------------------------
+    @property
+    def source_queues(self) -> "_SourceQueuesView":
+        """Length-reporting view of the per-node source queues."""
+        return _SourceQueuesView(self)
+
+    def router(self, node_id: int) -> "SoARouterView":
+        """Read-only router view (VCO/BOC observables of one node)."""
+        self.topology._check_node(node_id)
+        return SoARouterView(self, int(node_id))
+
+    @property
+    def routers(self) -> list["SoARouterView"]:
+        """Read-only router views in node order."""
+        return [SoARouterView(self, node) for node in self.topology.nodes()]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SoAMeshNetwork({self.topology.rows}x{self.topology.columns}, "
+            f"vcs={self.num_vcs}, depth={self.vc_depth})"
+        )
+
+
+class _GrowableInt:
+    """Amortised-append int64 array (packet registry columns)."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self._data = np.empty(capacity, dtype=np.int64)
+        self._size = 0
+
+    def _grow_to(self, needed: int) -> None:
+        capacity = self._data.size
+        while capacity < needed:
+            capacity *= 2
+        if capacity != self._data.size:
+            grown = np.empty(capacity, dtype=np.int64)
+            grown[: self._size] = self._data[: self._size]
+            self._data = grown
+
+    def append(self, value: int) -> None:
+        if self._size == self._data.size:
+            self._grow_to(self._size + 1)
+        self._data[self._size] = value
+        self._size += 1
+
+    def extend(self, values: np.ndarray) -> None:
+        count = len(values)
+        self._grow_to(self._size + count)
+        self._data[self._size : self._size + count] = values
+        self._size += count
+
+    def extend_fill(self, value: int, count: int) -> None:
+        self._grow_to(self._size + count)
+        self._data[self._size : self._size + count] = value
+        self._size += count
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._data[: self._size]
+
+    def __len__(self) -> int:
+        return self._size
+
+
+class _SourceQueuesView:
+    """Sequence view over the SoA source-queue rings (lengths only)."""
+
+    def __init__(self, net: SoAMeshNetwork) -> None:
+        self._net = net
+
+    def __len__(self) -> int:
+        return self._net.topology.num_nodes
+
+    def __getitem__(self, node_id: int) -> "_SourceQueueView":
+        return _SourceQueueView(self._net, node_id)
+
+
+class _SourceQueueView:
+    """Length view of one node's source queue."""
+
+    def __init__(self, net: SoAMeshNetwork, node_id: int) -> None:
+        self._net = net
+        self._node = node_id
+
+    def __len__(self) -> int:
+        return int(self._net._sq_count[self._node])
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class SoAPortView:
+    """Read-only observables of one input port (VCO/BOC counters)."""
+
+    def __init__(self, net: SoAMeshNetwork, node_id: int, direction: Direction) -> None:
+        self.direction = direction
+        self._net = net
+        self._flat = node_id * 5 + DIRECTION_INDEX[direction]
+
+    @property
+    def buffer_writes(self) -> int:
+        return int(self._net._buf_writes[self._flat])
+
+    @property
+    def buffer_reads(self) -> int:
+        return int(self._net._buf_reads[self._flat])
+
+    @property
+    def buffer_operation_count(self) -> int:
+        return self.buffer_writes + self.buffer_reads
+
+    @property
+    def occupied_vcs(self) -> int:
+        return int(self._net._occupied[self._flat])
+
+    @property
+    def occupancy_samples(self) -> int:
+        return self._net._occ_samples
+
+    @property
+    def instantaneous_occupancy(self) -> float:
+        return self.occupied_vcs / self._net.num_vcs
+
+    @property
+    def occupancy_sum(self) -> float:
+        if self._net._occ_exact:
+            return float(self._net._occ_sum_int[self._flat]) / self._net.num_vcs
+        return float(self._net._occ_sum[self._flat])
+
+    @property
+    def vc_occupancy(self) -> float:
+        if self._net._occ_samples == 0:
+            return self.instantaneous_occupancy
+        return self.occupancy_sum / self._net._occ_samples
+
+    @property
+    def buffered_flits(self) -> int:
+        base = self._flat * self._net.num_vcs
+        return int(self._net._vc_count[base : base + self._net.num_vcs].sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SoAPortView({self.direction.value}, occ={self.vc_occupancy:.2f})"
+
+
+class SoARouterView:
+    """Read-only router facade over the SoA state (tests / generic readers)."""
+
+    def __init__(self, net: SoAMeshNetwork, node_id: int) -> None:
+        self._net = net
+        self.node_id = node_id
+
+    @property
+    def input_ports(self) -> dict[Direction, SoAPortView]:
+        exists = self._net._tables.port_exists[self.node_id]
+        return {
+            _INDEX_DIRECTION[index]: SoAPortView(
+                self._net, self.node_id, _INDEX_DIRECTION[index]
+            )
+            for index in range(5)
+            if exists[index]
+        }
+
+    def port(self, direction: Direction) -> SoAPortView | None:
+        if not self._net._tables.port_exists[self.node_id, DIRECTION_INDEX[direction]]:
+            return None
+        return SoAPortView(self._net, self.node_id, direction)
+
+    def vco(self, direction: Direction) -> float:
+        port = self.port(direction)
+        return port.vc_occupancy if port is not None else 0.0
+
+    def boc(self, direction: Direction) -> int:
+        port = self.port(direction)
+        return port.buffer_operation_count if port is not None else 0
+
+    @property
+    def flits_ejected(self) -> int:
+        return int(self._net._flits_ejected[self.node_id])
+
+    @property
+    def packets_ejected(self) -> int:
+        return int(self._net._packets_ejected[self.node_id])
+
+    @property
+    def buffered_flits(self) -> int:
+        base = self.node_id * 5 * self._net.num_vcs
+        span = 5 * self._net.num_vcs
+        return int(self._net._vc_count[base : base + span].sum())
+
+    @property
+    def total_buffered_flits(self) -> int:
+        return self.buffered_flits
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SoARouterView(node={self.node_id})"

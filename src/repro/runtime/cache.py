@@ -22,6 +22,10 @@ Environment variables:
     store is a no-op).  Default: enabled.
 ``REPRO_CACHE_DIR``
     Cache root.  Default: ``~/.cache/dl2fence-repro``.
+``REPRO_CACHE_MAX_BYTES``
+    Size cap for the cache root.  After every store the least recently
+    used entries (by manifest mtime; a fetch hit refreshes it) are pruned
+    until the total size fits.  Default: unbounded.
 """
 
 from __future__ import annotations
@@ -56,6 +60,20 @@ def _enabled_from_environment() -> bool:
     return raw not in ("0", "false", "no", "off")
 
 
+def _max_bytes_from_environment() -> int | None:
+    """Size cap from ``REPRO_CACHE_MAX_BYTES`` (None = unbounded)."""
+    raw = os.environ.get("REPRO_CACHE_MAX_BYTES", "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_CACHE_MAX_BYTES must be an integer, got {raw!r}"
+        ) from None
+    return value if value > 0 else None
+
+
 @dataclass
 class CacheStats:
     """Hit/miss/store counters (reported by the perf harness)."""
@@ -64,6 +82,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     invalid: int = 0
+    evicted: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -71,6 +90,7 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "invalid": self.invalid,
+            "evicted": self.evicted,
         }
 
 
@@ -81,9 +101,16 @@ class ArtifactCache:
     root: Path = field(default_factory=default_cache_root)
     enabled: bool = field(default_factory=_enabled_from_environment)
     stats: CacheStats = field(default_factory=CacheStats)
+    #: Total-size cap in bytes (None = never evict).  Enforced after every
+    #: store by pruning least-recently-used entries (oldest manifest mtime).
+    max_bytes: int | None = field(default_factory=_max_bytes_from_environment)
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
+        # Lazily initialised running size estimate: stores add their entry
+        # size, a full walk only happens when the estimate crosses the cap
+        # (and corrects the estimate), so stores stay O(entry) not O(cache).
+        self._size_estimate: int | None = None
 
     @classmethod
     def from_environment(cls) -> "ArtifactCache":
@@ -150,6 +177,12 @@ class ArtifactCache:
             self._purge(entry)
             return None
         self.stats.hits += 1
+        # LRU touch: a hit makes the entry the most recently used one, so
+        # size-cap pruning evicts cold entries first.
+        try:
+            os.utime(entry / _MANIFEST)
+        except OSError:  # pragma: no cover - concurrent purge
+            pass
         return value
 
     def store(self, kind: str, payload: Any, save: Callable[[Path], None]) -> Path | None:
@@ -190,10 +223,74 @@ class ArtifactCache:
                     # the exists() check and the replace; its entry stands.
                     self._purge(staging)
             self.stats.stores += 1
+            if self.max_bytes is not None:
+                if self._size_estimate is None:
+                    self._size_estimate = self.total_bytes()
+                else:
+                    self._size_estimate += sum(files.values())
+                if self._size_estimate > self.max_bytes:
+                    self.enforce_size_cap()
             return entry
         except BaseException:
             self._purge(staging)
             raise
+
+    # -- size-capped LRU eviction -------------------------------------------
+    def _iter_entries(self) -> list[tuple[float, int, Path]]:
+        """(manifest mtime, size, path) of every complete entry directory."""
+        entries: list[tuple[float, int, Path]] = []
+        if not self.root.is_dir():
+            return entries
+        for shard in self.root.iterdir():
+            if not shard.is_dir():
+                continue
+            for entry in shard.iterdir():
+                if not entry.is_dir() or entry.name.startswith(".staging-"):
+                    continue
+                manifest = entry / _MANIFEST
+                try:
+                    mtime = manifest.stat().st_mtime
+                except OSError:
+                    # Incomplete leftovers count as oldest so they go first.
+                    mtime = 0.0
+                size = 0
+                try:
+                    size = sum(
+                        path.stat().st_size
+                        for path in entry.iterdir()
+                        if path.is_file()
+                    )
+                except OSError:  # pragma: no cover - concurrent purge
+                    pass
+                entries.append((mtime, size, entry))
+        return entries
+
+    def total_bytes(self) -> int:
+        """Current on-disk size of all complete entries."""
+        return sum(size for _, size, _ in self._iter_entries())
+
+    def enforce_size_cap(self, max_bytes: int | None = None) -> int:
+        """Prune least-recently-used entries until the cache fits the cap.
+
+        Entries are evicted oldest-manifest-mtime first (fetch hits refresh
+        the mtime, so this is LRU rather than FIFO); the most recently used
+        entry always survives, even when it alone exceeds the cap.  Returns
+        the number of evicted entries.
+        """
+        cap = self.max_bytes if max_bytes is None else max_bytes
+        if cap is None or not self.enabled:
+            return 0
+        entries = sorted(self._iter_entries())
+        total = sum(size for _, size, _ in entries)
+        evicted = 0
+        while total > cap and len(entries) > 1:
+            _, size, path = entries.pop(0)
+            self._purge(path)
+            total -= size
+            evicted += 1
+        self.stats.evicted += evicted
+        self._size_estimate = total
+        return evicted
 
     def get_or_build(
         self,

@@ -44,10 +44,10 @@ from repro.monitor.frames import DirectionalFrame, FrameSample, FrameSet
 from repro.noc.topology import Direction
 from repro.nn.dtype import default_dtype
 from repro.runtime.cache import ArtifactCache
-from repro.runtime.parallel import ParallelRunner
+from repro.runtime.parallel import ArrayBundle, ParallelRunner
 from repro.traffic.scenario import AttackScenario, ScenarioGenerator, benchmark_names
 
-__all__ = ["ExperimentEngine", "RunTask"]
+__all__ = ["ExperimentEngine", "RunTask", "fence_cache_payload"]
 
 
 @dataclass(frozen=True)
@@ -64,6 +64,73 @@ def _simulate_run(task: RunTask) -> ScenarioRun:
     """Execute one scenario run (module-level so worker processes can pickle it)."""
     builder = DatasetBuilder(task.config)
     return builder.run_benchmark(task.benchmark, scenario=task.scenario, seed=task.seed)
+
+
+def _run_to_bundle(run: ScenarioRun) -> ArrayBundle:
+    """Split a scenario run into small metadata + stacked frame tensors.
+
+    The shape the shared-memory transport ships: the frame tensors (the
+    bulk of a 16x16+ run) travel through one shared-memory segment instead
+    of the worker pool's pickle pipe.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    for kind in FeatureKind:
+        for direction, dname in _DIRECTION_NAMES.items():
+            frames = [
+                sample.feature(kind).frames[direction].values
+                for sample in run.samples
+            ]
+            if frames:
+                arrays[f"{kind.value}_{dname}"] = np.stack(frames, axis=0)
+    meta = {
+        "benchmark": run.benchmark,
+        "scenario": _scenario_to_json(run.scenario),
+        "rows": run.topology.rows,
+        "cycles": [sample.cycle for sample in run.samples],
+        "attack_active": [bool(sample.attack_active) for sample in run.samples],
+    }
+    return ArrayBundle(meta=meta, arrays=arrays)
+
+
+def _run_from_bundle(bundle: ArrayBundle) -> ScenarioRun:
+    """Inverse of :func:`_run_to_bundle` (parent-side reconstruction)."""
+    from repro.noc.topology import MeshTopology
+
+    meta = bundle.meta
+    topology = MeshTopology(rows=int(meta["rows"]))
+    samples = []
+    for index, cycle in enumerate(meta["cycles"]):
+        frame_sets = {}
+        for kind in FeatureKind:
+            frames = {}
+            for direction, dname in _DIRECTION_NAMES.items():
+                stacked = bundle.arrays[f"{kind.value}_{dname}"]
+                frames[direction] = DirectionalFrame(
+                    direction=direction,
+                    kind=kind,
+                    values=stacked[index],
+                    cycle=int(cycle),
+                )
+            frame_sets[kind] = FrameSet(kind=kind, frames=frames, cycle=int(cycle))
+        samples.append(
+            FrameSample(
+                cycle=int(cycle),
+                vco=frame_sets[FeatureKind.VCO],
+                boc=frame_sets[FeatureKind.BOC],
+                attack_active=bool(meta["attack_active"][index]),
+            )
+        )
+    return ScenarioRun(
+        benchmark=str(meta["benchmark"]),
+        scenario=_scenario_from_json(meta["scenario"]),
+        samples=samples,
+        topology=topology,
+    )
+
+
+def _simulate_run_bundle(task: RunTask) -> ArrayBundle:
+    """Worker entry point: simulate, then hand frames over as tensors."""
+    return _run_to_bundle(_simulate_run(task))
 
 
 def _plan_run_tasks(
@@ -128,73 +195,61 @@ def _load_run(directory: Path) -> ScenarioRun:
 
 
 def _save_runs(runs: list[ScenarioRun], directory: Path) -> None:
+    """Persist runs on disk in the shared ArrayBundle shape (npz + json)."""
     meta = []
     arrays: dict[str, np.ndarray] = {}
     for r_index, run in enumerate(runs):
-        meta.append(
-            {
-                "benchmark": run.benchmark,
-                "scenario": _scenario_to_json(run.scenario),
-                "rows": run.topology.rows,
-                "cycles": [sample.cycle for sample in run.samples],
-                "attack_active": [bool(sample.attack_active) for sample in run.samples],
-            }
-        )
-        for kind in FeatureKind:
-            for direction, dname in _DIRECTION_NAMES.items():
-                frames = [
-                    sample.feature(kind).frames[direction].values
-                    for sample in run.samples
-                ]
-                key = f"r{r_index}_{kind.value}_{dname}"
-                arrays[key] = (
-                    np.stack(frames, axis=0) if frames else np.zeros((0, 0, 0))
-                )
+        bundle = _run_to_bundle(run)
+        meta.append(bundle.meta)
+        for key, values in bundle.arrays.items():
+            arrays[f"r{r_index}_{key}"] = values
     (directory / "runs.json").write_text(json.dumps(meta))
     np.savez(directory / "runs.npz", **arrays)
 
 
 def _load_runs(directory: Path) -> list[ScenarioRun]:
-    from repro.noc.topology import MeshTopology
-
     meta = json.loads((directory / "runs.json").read_text())
     runs: list[ScenarioRun] = []
     with np.load(directory / "runs.npz") as archive:
         for r_index, entry in enumerate(meta):
-            topology = MeshTopology(rows=int(entry["rows"]))
-            samples = []
-            for s_index, cycle in enumerate(entry["cycles"]):
-                frame_sets = {}
-                for kind in FeatureKind:
-                    frames = {}
-                    for direction, dname in _DIRECTION_NAMES.items():
-                        stacked = archive[f"r{r_index}_{kind.value}_{dname}"]
-                        frames[direction] = DirectionalFrame(
-                            direction=direction,
-                            kind=kind,
-                            values=stacked[s_index],
-                            cycle=int(cycle),
-                        )
-                    frame_sets[kind] = FrameSet(
-                        kind=kind, frames=frames, cycle=int(cycle)
-                    )
-                samples.append(
-                    FrameSample(
-                        cycle=int(cycle),
-                        vco=frame_sets[FeatureKind.VCO],
-                        boc=frame_sets[FeatureKind.BOC],
-                        attack_active=bool(entry["attack_active"][s_index]),
-                    )
-                )
-            runs.append(
-                ScenarioRun(
-                    benchmark=str(entry["benchmark"]),
-                    scenario=_scenario_from_json(entry["scenario"]),
-                    samples=samples,
-                    topology=topology,
-                )
-            )
+            prefix = f"r{r_index}_"
+            arrays = {
+                name[len(prefix) :]: archive[name]
+                for name in archive.files
+                if name.startswith(prefix)
+            }
+            runs.append(_run_from_bundle(ArrayBundle(meta=entry, arrays=arrays)))
     return runs
+
+
+def fence_cache_payload(
+    config: DatasetConfig,
+    fence_config: DL2FenceConfig,
+    benchmarks: list[str],
+    scenarios_per_benchmark: int,
+    attacker_counts: tuple[int, ...],
+    seed: int,
+    detector_epochs: int,
+    localizer_epochs: int,
+) -> dict:
+    """The full training configuration identifying a trained fence.
+
+    Shared between :meth:`ExperimentEngine.trained_fence` (its cache key)
+    and dependent per-episode caches (e.g. the mitigation sweep's), so an
+    episode entry is reused exactly when the pipeline that defended it is
+    the same — by construction, not by keeping two literals in sync.
+    """
+    return {
+        "config": config,
+        "fence": fence_config,
+        "benchmarks": list(benchmarks),
+        "scenarios_per_benchmark": scenarios_per_benchmark,
+        "attacker_counts": tuple(attacker_counts),
+        "seed": seed,
+        "detector_epochs": detector_epochs,
+        "localizer_epochs": localizer_epochs,
+        "dtype": default_dtype(),
+    }
 
 
 # -- the engine ---------------------------------------------------------------
@@ -251,7 +306,19 @@ class ExperimentEngine:
             self.cache.fetch("scenario-run", task, _load_run) for task in tasks
         ]
         missing = [index for index, run in enumerate(runs) if run is None]
-        fresh = self.runner.map(_simulate_run, [tasks[index] for index in missing])
+        if self.runner.is_serial or len(missing) <= 1:
+            fresh = self.runner.map(
+                _simulate_run, [tasks[index] for index in missing]
+            )
+        else:
+            # Parallel path: workers return frame tensors through shared
+            # memory instead of pickling whole ScenarioRun objects back.
+            fresh = [
+                _run_from_bundle(bundle)
+                for bundle in self.runner.map_arrays(
+                    _simulate_run_bundle, [tasks[index] for index in missing]
+                )
+            ]
         for index, run in zip(missing, fresh):
             runs[index] = run
             self.cache.store(
@@ -276,17 +343,16 @@ class ExperimentEngine:
         if benchmarks is None:
             benchmarks = benchmark_names()
         builder = DatasetBuilder(config)
-        payload = {
-            "config": config,
-            "fence": fence_config,
-            "benchmarks": list(benchmarks),
-            "scenarios_per_benchmark": scenarios_per_benchmark,
-            "attacker_counts": tuple(attacker_counts),
-            "seed": seed,
-            "detector_epochs": detector_epochs,
-            "localizer_epochs": localizer_epochs,
-            "dtype": default_dtype(),
-        }
+        payload = fence_cache_payload(
+            config,
+            fence_config,
+            list(benchmarks),
+            scenarios_per_benchmark,
+            tuple(attacker_counts),
+            seed,
+            detector_epochs,
+            localizer_epochs,
+        )
 
         def build() -> DL2Fence:
             runs = self.build_runs(

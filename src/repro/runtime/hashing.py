@@ -69,10 +69,21 @@ def canonical_payload(obj: Any) -> Any:
 
 
 def cache_key(kind: str, payload: Any) -> str:
-    """SHA-256 key of a (kind, payload) pair under the current schema version."""
+    """SHA-256 key of a (kind, payload) pair under the current schema version.
+
+    The active simulator backend is folded into every key: all cached
+    artifacts derive from simulation, and although the backends are pinned
+    fingerprint-identical, sharing entries across them would make a
+    cross-backend comparison run (e.g. the nightly ``REPRO_SIM_BACKEND``
+    matrix with a shared cache dir) silently serve one backend's results as
+    the other's — hiding exactly the divergence such a run exists to catch.
+    """
+    from repro.noc.backend import resolve_backend
+
     document = {
         "schema": CACHE_SCHEMA_VERSION,
         "kind": str(kind),
+        "backend": resolve_backend(),
         "payload": canonical_payload(payload),
     }
     encoded = json.dumps(document, sort_keys=True, separators=(",", ":"))

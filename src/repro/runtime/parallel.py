@@ -16,20 +16,145 @@ that property by construction:
 The worker count comes from the ``REPRO_WORKERS`` environment variable
 (default 1 — serial).  Task functions must be module-level (picklable)
 callables taking a single descriptor argument.
+
+Large array payloads (the frame tensors of a 16x16+ scenario run) bypass
+the pickle result pipe: :meth:`ParallelRunner.map_arrays` has each worker
+write its result's arrays into one ``multiprocessing.shared_memory``
+segment and send back only a small descriptor; the parent reconstructs the
+arrays straight from the segment (workers write zero-copy, the parent takes
+a single copy while detaching so segment lifetime stays bounded).  Disable
+with ``REPRO_SHM_FRAMES=0``; the serial path and the fallback are
+bit-identical.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Callable, Iterable, Sequence, TypeVar
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
 
-__all__ = ["ParallelRunner", "configured_workers", "derive_seeds"]
+__all__ = [
+    "ArrayBundle",
+    "ParallelRunner",
+    "configured_workers",
+    "derive_seeds",
+    "shared_memory_enabled",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+def shared_memory_enabled() -> bool:
+    """Shared-memory result transport toggle (``REPRO_SHM_FRAMES``)."""
+    raw = os.environ.get("REPRO_SHM_FRAMES", "").strip().lower()
+    return raw not in ("0", "false", "no", "off")
+
+
+@dataclass
+class ArrayBundle:
+    """A picklable-metadata view of named arrays plus JSON-able metadata.
+
+    The unit of the shared-memory transport: ``pack`` splits a result into
+    ``meta`` (small, pickled normally) and ``arrays`` (large, shipped
+    through one shared-memory segment per bundle).
+    """
+
+    meta: Any
+    arrays: dict[str, np.ndarray]
+
+
+@dataclass
+class _ShmHandle:
+    """Descriptor of a bundle parked in a shared-memory segment."""
+
+    meta: Any
+    segment_name: str
+    layout: list[tuple[str, tuple[int, ...], str, int]]  # name, shape, dtype, offset
+
+
+@dataclass
+class _RawHandle:
+    """Fallback when shared memory is unavailable: plain pickled bundle."""
+
+    bundle: ArrayBundle
+
+
+class _ShmCall:
+    """Module-level callable wrapper executed in the worker process."""
+
+    def __init__(self, fn: Callable[[T], ArrayBundle]) -> None:
+        self.fn = fn
+
+    def __call__(self, task: T):
+        bundle = self.fn(task)
+        try:
+            from multiprocessing import shared_memory
+        except ImportError:  # pragma: no cover - ancient platforms
+            return _RawHandle(bundle)
+        layout: list[tuple[str, tuple[int, ...], str, int]] = []
+        offset = 0
+        for name, array in bundle.arrays.items():
+            size = int(array.nbytes)
+            layout.append((name, tuple(array.shape), array.dtype.str, offset))
+            offset += size
+        if offset == 0:
+            return _RawHandle(bundle)
+        try:
+            segment = shared_memory.SharedMemory(create=True, size=offset)
+        except OSError:  # pragma: no cover - e.g. /dev/shm unavailable
+            return _RawHandle(bundle)
+        try:
+            for (name, shape, dtype, start), array in zip(
+                layout, bundle.arrays.values()
+            ):
+                view = np.ndarray(
+                    shape, dtype=np.dtype(dtype), buffer=segment.buf, offset=start
+                )
+                view[...] = array
+            handle = _ShmHandle(
+                meta=bundle.meta, segment_name=segment.name, layout=layout
+            )
+        finally:
+            segment.close()
+        return handle
+
+
+def _unpack_handle(handle) -> ArrayBundle:
+    """Rebuild a bundle in the parent; frees the segment."""
+    if isinstance(handle, _RawHandle):
+        return handle.bundle
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=handle.segment_name)
+    try:
+        arrays = {}
+        for name, shape, dtype, offset in handle.layout:
+            view = np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=segment.buf, offset=offset
+            )
+            arrays[name] = view.copy()
+    finally:
+        segment.close()
+        segment.unlink()
+    return ArrayBundle(meta=handle.meta, arrays=arrays)
+
+
+def _discard_handle(handle) -> None:
+    """Free a handle's segment without reading it (error-path cleanup)."""
+    if isinstance(handle, _RawHandle):
+        return
+    from multiprocessing import shared_memory
+
+    try:
+        segment = shared_memory.SharedMemory(name=handle.segment_name)
+    except OSError:  # pragma: no cover - already gone
+        return
+    segment.close()
+    segment.unlink()
 
 
 def configured_workers(default: int = 1) -> int:
@@ -101,6 +226,40 @@ class ParallelRunner:
         """Map over ``(item, seed)`` pairs with per-task derived seeds."""
         seeds = derive_seeds(root_seed, len(items))
         return self.map(fn, list(zip(items, seeds)))
+
+    def map_arrays(
+        self, fn: Callable[[T], ArrayBundle], tasks: Iterable[T]
+    ) -> list[ArrayBundle]:
+        """``map`` for array-heavy results, routed through shared memory.
+
+        ``fn`` must return an :class:`ArrayBundle`.  In worker processes the
+        bundle's arrays are written into one shared-memory segment and only
+        a small descriptor travels through the pickle pipe; the parent
+        rebuilds the arrays from the segment and unlinks it.  Serial runs,
+        a ``REPRO_SHM_FRAMES=0`` override, and platforms without shared
+        memory all fall back to the plain (bit-identical) pickle path.
+        """
+        task_list = list(tasks)
+        if self.is_serial or len(task_list) <= 1:
+            return [fn(task) for task in task_list]
+        if not shared_memory_enabled():
+            return self.map(fn, task_list)
+        context = multiprocessing.get_context(self.start_method)
+        processes = min(self.workers, len(task_list))
+        with context.Pool(processes=processes) as pool:
+            handles = pool.map(_ShmCall(fn), task_list, chunksize=1)
+        bundles: list[ArrayBundle] = []
+        try:
+            for handle in handles:
+                bundles.append(_unpack_handle(handle))
+        except BaseException:
+            # Free the segments of the handles not consumed yet so a failed
+            # unpack cannot strand tens of MB in /dev/shm for the rest of a
+            # long-lived sweep process.
+            for handle in handles[len(bundles) + 1 :]:
+                _discard_handle(handle)
+            raise
+        return bundles
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ParallelRunner(workers={self.workers}, start={self.start_method!r})"

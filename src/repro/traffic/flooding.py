@@ -109,17 +109,26 @@ class FloodingAttacker:
         return True
 
     # -- TrafficSource protocol -------------------------------------------------
-    def packets_for_cycle(self, cycle: int) -> list[Packet]:
-        """Flooding packets injected by all attackers during ``cycle``.
+    def _draw_batch(self, cycle: int) -> np.ndarray | None:
+        """Attacker node ids flooding during ``cycle`` (None when inactive).
 
         All attackers draw from one vectorized RNG call — the stream is
         identical to per-attacker scalar draws, so results are reproducible
-        across both paths, but multi-attacker floods cost one call per cycle.
+        across both the object-building and the array-batch paths.
         """
         if not self.is_active_at(cycle):
-            return []
+            return None
         draws = self.rng.random(len(self.config.attackers))
-        packets = [
+        sources = np.asarray(self.config.attackers)[draws < self.config.fir]
+        self.packets_generated += int(sources.size)
+        return sources
+
+    def packets_for_cycle(self, cycle: int) -> list[Packet]:
+        """Flooding packets injected by all attackers during ``cycle``."""
+        sources = self._draw_batch(cycle)
+        if sources is None:
+            return []
+        return [
             Packet(
                 source=attacker,
                 destination=self.config.victim,
@@ -127,11 +136,18 @@ class FloodingAttacker:
                 created_cycle=cycle,
                 is_malicious=True,
             )
-            for attacker, draw in zip(self.config.attackers, draws)
-            if draw < self.config.fir
+            for attacker in sources.tolist()
         ]
-        self.packets_generated += len(packets)
-        return packets
+
+    def packet_batch_for_cycle(
+        self, cycle: int
+    ) -> tuple[np.ndarray, np.ndarray, int, bool] | None:
+        """Array form of :meth:`packets_for_cycle` for batch-capable backends."""
+        sources = self._draw_batch(cycle)
+        if sources is None or sources.size == 0:
+            return None
+        destinations = np.full(sources.size, self.config.victim, dtype=np.int64)
+        return sources, destinations, self.config.packet_size_flits, True
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -48,6 +48,9 @@ class SyntheticTraffic(ABC):
     """
 
     name = "synthetic"
+    #: Deterministic patterns (no per-packet randomness in the destination
+    #: mapping) memoise a source→destination table on first use.
+    deterministic = False
 
     def __init__(
         self,
@@ -65,6 +68,7 @@ class SyntheticTraffic(ABC):
         self.packet_size_flits = int(packet_size_flits)
         self.seed = int(seed)
         self.rng = np.random.default_rng(seed)
+        self._dest_table: np.ndarray | None = None
 
     # -- pattern ----------------------------------------------------------
     @abstractmethod
@@ -75,27 +79,79 @@ class SyntheticTraffic(ABC):
         (self-traffic never enters the network).
         """
 
+    def destinations_for(self, sources: np.ndarray) -> np.ndarray:
+        """Vectorized destination mapping for the chosen sources.
+
+        The default walks :meth:`destination_for` per source (the exact
+        per-packet order randomized patterns rely on); deterministic
+        patterns answer from a memoised full-mesh table instead.
+        """
+        if self.deterministic:
+            if self._dest_table is None:
+                self._dest_table = np.array(
+                    [
+                        self.destination_for(source)
+                        for source in range(self.topology.num_nodes)
+                    ],
+                    dtype=np.int64,
+                )
+            return self._dest_table[sources]
+        return np.array(
+            [self.destination_for(int(source)) for source in sources],
+            dtype=np.int64,
+        )
+
     # -- TrafficSource protocol ------------------------------------------------
+    def _draw_batch(self, cycle: int) -> tuple[np.ndarray, np.ndarray] | None:
+        """One cycle's Bernoulli draw: (sources, destinations) or None.
+
+        Shared by the object-building and the array-batch paths so both
+        consume the RNG stream identically.
+        """
+        if self.injection_rate == 0.0:
+            return None
+        draws = self.rng.random(self.topology.num_nodes) < self.injection_rate
+        sources = np.nonzero(draws)[0]
+        if sources.size == 0:
+            return None
+        destinations = self.destinations_for(sources)
+        keep = destinations != sources
+        if not keep.all():
+            sources = sources[keep]
+            destinations = destinations[keep]
+        return sources, destinations
+
     def packets_for_cycle(self, cycle: int) -> list[Packet]:
         """Bernoulli-inject packets across all nodes for one cycle."""
-        if self.injection_rate == 0.0:
+        batch = self._draw_batch(cycle)
+        if batch is None:
             return []
-        draws = self.rng.random(self.topology.num_nodes) < self.injection_rate
-        packets = []
-        for source in np.nonzero(draws)[0]:
-            source = int(source)
-            destination = self.destination_for(source)
-            if destination == source:
-                continue
-            packets.append(
-                Packet(
-                    source=source,
-                    destination=destination,
-                    size_flits=self.packet_size_flits,
-                    created_cycle=cycle,
-                )
+        sources, destinations = batch
+        size = self.packet_size_flits
+        return [
+            Packet(
+                source=source,
+                destination=destination,
+                size_flits=size,
+                created_cycle=cycle,
             )
-        return packets
+            for source, destination in zip(sources.tolist(), destinations.tolist())
+        ]
+
+    def packet_batch_for_cycle(
+        self, cycle: int
+    ) -> tuple[np.ndarray, np.ndarray, int, bool] | None:
+        """Array form of :meth:`packets_for_cycle` for batch-capable backends.
+
+        Returns ``(sources, destinations, size_flits, is_malicious)`` with no
+        per-packet Python objects; the RNG stream is identical to the object
+        path, so both backends simulate the same traffic.
+        """
+        batch = self._draw_batch(cycle)
+        if batch is None:
+            return None
+        sources, destinations = batch
+        return sources, destinations, self.packet_size_flits, False
 
     # -- helpers -----------------------------------------------------------
     def _id_bits(self) -> int:
@@ -118,11 +174,20 @@ class UniformRandomTraffic(SyntheticTraffic):
             destination += 1
         return destination
 
+    def destinations_for(self, sources: np.ndarray) -> np.ndarray:
+        """One bulk draw per cycle; the PCG64 stream of ``size=k`` bounded
+        integer draws is identical to ``k`` scalar draws, so results match
+        the per-source path bit for bit (pinned by a regression test)."""
+        num = self.topology.num_nodes
+        destinations = self.rng.integers(0, num - 1, size=sources.size)
+        return destinations + (destinations >= sources)
+
 
 class TornadoTraffic(SyntheticTraffic):
     """Tornado pattern: shift half-minus-one positions along each dimension."""
 
     name = "tornado"
+    deterministic = True
 
     def destination_for(self, source: int) -> int:
         x, y = self.topology.coordinates(source)
@@ -136,6 +201,7 @@ class ShuffleTraffic(SyntheticTraffic):
     """Perfect-shuffle permutation on the node-id bits (rotate left by one)."""
 
     name = "shuffle"
+    deterministic = True
 
     def destination_for(self, source: int) -> int:
         bits = self._id_bits()
@@ -148,6 +214,7 @@ class NeighborTraffic(SyntheticTraffic):
     """Each node sends to its eastern neighbour (wrapping at the mesh edge)."""
 
     name = "neighbor"
+    deterministic = True
 
     def destination_for(self, source: int) -> int:
         x, y = self.topology.coordinates(source)
@@ -158,6 +225,7 @@ class BitRotationTraffic(SyntheticTraffic):
     """Rotate the node-id bits right by one position."""
 
     name = "bit_rotation"
+    deterministic = True
 
     def destination_for(self, source: int) -> int:
         bits = self._id_bits()
@@ -170,6 +238,7 @@ class BitComplementTraffic(SyntheticTraffic):
     """Send to the bitwise complement of the node id."""
 
     name = "bit_complement"
+    deterministic = True
 
     def destination_for(self, source: int) -> int:
         num = self.topology.num_nodes

@@ -1,0 +1,123 @@
+"""Per-episode caching of the mitigation sweep (ROADMAP follow-up).
+
+The whole-sweep record was already memoised; these tests pin the finer
+granularity: every (FIR, policy) episode and every unmitigated comparator is
+cached individually, so extending a sweep only simulates the new episodes,
+and a cached episode reproduces its MitigationPoint bit for bit.
+"""
+
+import math
+
+from repro.defense.policy import MitigationPolicy
+from repro.defense.report import DefenseEvent, DefenseReport, WindowRecord
+from repro.experiments import ExperimentConfig
+from repro.experiments.mitigation import run_mitigation_sweep
+from repro.runtime.cache import ArtifactCache
+from repro.runtime.engine import ExperimentEngine
+from repro.runtime.parallel import ParallelRunner
+
+QUICK = ExperimentConfig.quick()
+POLICY = MitigationPolicy.quarantine(engage_after=1)
+
+
+def _engine(tmp_path) -> ExperimentEngine:
+    return ExperimentEngine(
+        cache=ArtifactCache(root=tmp_path / "cache", enabled=True),
+        runner=ParallelRunner(workers=1),
+    )
+
+
+class TestDefenseReportPayload:
+    def test_round_trip_preserves_everything(self):
+        report = DefenseReport(
+            policy=MitigationPolicy.throttle(0.2, engage_after=3, flush_queue=True),
+            sample_period=100,
+            attack_start=200,
+            attack_end=900,
+            true_attackers=(5, 9),
+            windows=[
+                WindowRecord(
+                    index=0,
+                    cycle=100,
+                    detected=False,
+                    probability=0.12,
+                    phase="benign",
+                    benign_latency=math.nan,
+                ),
+                WindowRecord(
+                    index=1,
+                    cycle=200,
+                    detected=True,
+                    probability=0.97,
+                    phase="attack",
+                    victims=(1, 2),
+                    attackers=(5,),
+                    restricted=(5,),
+                    benign_latency=14.5,
+                    benign_delivered=7,
+                    malicious_delivered=3,
+                ),
+            ],
+            events=[
+                DefenseEvent(cycle=200, kind="detected", detail="p=0.97"),
+                DefenseEvent(cycle=200, kind="engaged", nodes=(5,), round=1),
+            ],
+        )
+        rebuilt = DefenseReport.from_payload(report.to_payload())
+        assert rebuilt.policy == report.policy
+        assert rebuilt.windows == report.windows
+        assert rebuilt.events == report.events
+        assert rebuilt.as_dict() == report.as_dict()
+
+
+class TestPerEpisodeCache:
+    def test_extending_firs_reuses_cached_episodes(self, tmp_path):
+        """Changing the FIR set must not re-run the overlapping episodes."""
+        engine = _engine(tmp_path)
+        first = run_mitigation_sweep(
+            firs=(0.8,),
+            rows_values=(QUICK.rows,),
+            policies=(POLICY,),
+            config=QUICK,
+            engine=engine,
+        )
+        stores_after_first = engine.cache.stats.stores
+        assert stores_after_first > 0
+
+        # A different sweep shape misses the whole-sweep record but must hit
+        # the per-episode entries for the shared FIR.
+        second_engine = _engine(tmp_path)
+        second = run_mitigation_sweep(
+            firs=(0.8, 0.4),
+            rows_values=(QUICK.rows,),
+            policies=(POLICY,),
+            config=QUICK,
+            engine=second_engine,
+        )
+        assert second_engine.cache.stats.hits > 0
+        shared_first = [p for p in first if p.fir == 0.8]
+        shared_second = [p for p in second if p.fir == 0.8]
+        assert [p.to_payload() for p in shared_first] == [
+            p.to_payload() for p in shared_second
+        ]
+
+    def test_cached_episode_matches_fresh(self, tmp_path):
+        """A cache-served sweep equals the freshly simulated one exactly."""
+        warm_engine = _engine(tmp_path)
+        fresh = run_mitigation_sweep(
+            firs=(0.8,),
+            rows_values=(QUICK.rows,),
+            policies=(POLICY,),
+            config=QUICK,
+            engine=warm_engine,
+        )
+        replay_engine = _engine(tmp_path)
+        replayed = run_mitigation_sweep(
+            firs=(0.8,),
+            rows_values=(QUICK.rows,),
+            policies=(POLICY,),
+            config=QUICK,
+            engine=replay_engine,
+        )
+        assert [p.to_payload() for p in fresh] == [p.to_payload() for p in replayed]
+        assert replay_engine.cache.stats.hits > 0

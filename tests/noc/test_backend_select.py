@@ -1,0 +1,157 @@
+"""Backend selection (``REPRO_SIM_BACKEND``) and SoA compatibility surface."""
+
+import numpy as np
+import pytest
+
+from repro.monitor.features import FeatureKind, extract_feature_frame
+from repro.noc.backend import BACKENDS, DEFAULT_BACKEND, build_network, resolve_backend
+from repro.noc.network import MeshNetwork
+from repro.noc.packet import Packet
+from repro.noc.simulator import NoCSimulator, SimulationConfig
+from repro.noc.soa import SoAMeshNetwork
+from repro.noc.topology import Direction, MeshTopology
+from repro.traffic.synthetic import UniformRandomTraffic
+
+
+class TestResolveBackend:
+    def test_default_is_soa(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_BACKEND", raising=False)
+        assert resolve_backend() == DEFAULT_BACKEND == "soa"
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_environment_round_trip(self, monkeypatch, name):
+        """REPRO_SIM_BACKEND drives simulator construction end to end."""
+        monkeypatch.setenv("REPRO_SIM_BACKEND", name)
+        assert resolve_backend() == name
+        simulator = NoCSimulator(SimulationConfig(rows=4))
+        assert simulator.backend == name
+        expected = SoAMeshNetwork if name == "soa" else MeshNetwork
+        assert isinstance(simulator.network, expected)
+
+    def test_environment_is_case_insensitive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_BACKEND", "  OBJECT ")
+        assert resolve_backend() == "object"
+
+    def test_explicit_config_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_BACKEND", "object")
+        simulator = NoCSimulator(SimulationConfig(rows=4, backend="soa"))
+        assert isinstance(simulator.network, SoAMeshNetwork)
+
+    def test_unknown_backend_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_BACKEND", "garnet")
+        with pytest.raises(ValueError, match="garnet"):
+            resolve_backend()
+        with pytest.raises(ValueError):
+            SimulationConfig(rows=4, backend="garnet")
+
+    def test_build_network_dispatch(self):
+        topology = MeshTopology(rows=4)
+        assert isinstance(build_network(topology, backend="soa"), SoAMeshNetwork)
+        assert isinstance(build_network(topology, backend="object"), MeshNetwork)
+
+
+class TestSoACompatibilitySurface:
+    """The object-backend-facing views the monitor/defense/tests rely on."""
+
+    def _network(self) -> SoAMeshNetwork:
+        return SoAMeshNetwork(MeshTopology(rows=4))
+
+    def test_validation_matches_object_backend(self):
+        topology = MeshTopology(rows=4)
+        with pytest.raises(ValueError):
+            SoAMeshNetwork(topology, injection_bandwidth=0)
+        with pytest.raises(ValueError):
+            SoAMeshNetwork(topology, source_queue_capacity=0)
+        network = self._network()
+        with pytest.raises(ValueError):
+            network.set_injection_limit(0, 1.5)
+        with pytest.raises(ValueError):
+            network.set_injection_limit(99, 0.5)
+
+    def test_source_queue_views_report_lengths(self):
+        network = self._network()
+        assert len(network.source_queues[5]) == 0
+        network.enqueue_packet(Packet(source=5, destination=0, size_flits=3))
+        assert len(network.source_queues[5]) == 3
+        assert network.queued_flits == 3
+        assert network.flush_source_queue(5) == 3
+        assert len(network.source_queues[5]) == 0
+        assert network.dropped_packets == 1
+
+    def test_router_views_expose_ports_and_observables(self):
+        network = self._network()
+        corner = network.router(0)
+        assert set(corner.input_ports) == {
+            Direction.LOCAL,
+            Direction.EAST,
+            Direction.NORTH,
+        }
+        interior = network.router(5)
+        assert set(interior.input_ports) == {Direction.LOCAL, *Direction.cardinal()}
+        assert interior.port(Direction.WEST) is not None
+        assert corner.port(Direction.WEST) is None
+        assert corner.vco(Direction.WEST) == 0.0
+        assert corner.boc(Direction.WEST) == 0
+        assert len(network.routers) == 16
+
+    def test_single_direction_frame_extraction_uses_fast_path(self):
+        simulator = NoCSimulator(
+            SimulationConfig(rows=4, warmup_cycles=0, seed=0, backend="soa")
+        )
+        simulator.add_source(
+            UniformRandomTraffic(simulator.topology, injection_rate=0.3, seed=0)
+        )
+        simulator.run(100)
+        reference = NoCSimulator(
+            SimulationConfig(rows=4, warmup_cycles=0, seed=0, backend="object")
+        )
+        reference.add_source(
+            UniformRandomTraffic(reference.topology, injection_rate=0.3, seed=0)
+        )
+        reference.run(100)
+        for direction in Direction.cardinal():
+            for kind in FeatureKind:
+                assert np.array_equal(
+                    extract_feature_frame(simulator.network, direction, kind),
+                    extract_feature_frame(reference.network, direction, kind),
+                )
+
+
+class TestBackendCacheIsolation:
+    def test_cache_keys_differ_per_backend(self, monkeypatch):
+        """Cached artifacts are keyed per backend: a cross-backend
+        comparison with a shared cache dir must never serve one backend's
+        results as the other's."""
+        from repro.runtime.hashing import cache_key
+
+        monkeypatch.setenv("REPRO_SIM_BACKEND", "soa")
+        soa_key = cache_key("scenario-run", {"seed": 1})
+        monkeypatch.setenv("REPRO_SIM_BACKEND", "object")
+        object_key = cache_key("scenario-run", {"seed": 1})
+        assert soa_key != object_key
+        monkeypatch.setenv("REPRO_SIM_BACKEND", "soa")
+        assert cache_key("scenario-run", {"seed": 1}) == soa_key
+
+
+class TestSyntheticStreamRegression:
+    def test_bulk_uniform_draws_match_scalar_path(self):
+        """The vectorized destination draw is pinned to the scalar stream."""
+
+        class ScalarUniform(UniformRandomTraffic):
+            def destinations_for(self, sources):
+                return np.array(
+                    [self.destination_for(int(s)) for s in sources], dtype=np.int64
+                )
+
+        topology = MeshTopology(rows=8)
+        for seed in (0, 3, 17):
+            fast = UniformRandomTraffic(topology, injection_rate=0.15, seed=seed)
+            slow = ScalarUniform(topology, injection_rate=0.15, seed=seed)
+            for cycle in range(150):
+                fast_packets = [
+                    (p.source, p.destination) for p in fast.packets_for_cycle(cycle)
+                ]
+                slow_packets = [
+                    (p.source, p.destination) for p in slow.packets_for_cycle(cycle)
+                ]
+                assert fast_packets == slow_packets

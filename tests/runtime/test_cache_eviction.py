@@ -1,0 +1,92 @@
+"""Size-capped LRU eviction of the artifact cache (ROADMAP follow-up)."""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.runtime.cache import ArtifactCache, _max_bytes_from_environment
+
+
+def _store_blob(cache: ArtifactCache, key: int, payload_bytes: int) -> Path:
+    def save(directory: Path) -> None:
+        (directory / "blob.bin").write_bytes(b"x" * payload_bytes)
+
+    return cache.store("blob", {"key": key}, save)
+
+
+def _load_blob(directory: Path) -> bytes:
+    return (directory / "blob.bin").read_bytes()
+
+
+def _age(entry: Path, seconds: float) -> None:
+    """Backdate an entry's manifest so eviction order is deterministic."""
+    stamp = time.time() - seconds
+    os.utime(entry / "manifest.json", (stamp, stamp))
+
+
+class TestEnvironmentKnob:
+    def test_default_is_unbounded(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_MAX_BYTES", raising=False)
+        assert _max_bytes_from_environment() is None
+        assert ArtifactCache(root="unused").max_bytes is None
+
+    def test_parses_and_validates(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "4096")
+        assert _max_bytes_from_environment() == 4096
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "0")
+        assert _max_bytes_from_environment() is None
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "lots")
+        with pytest.raises(ValueError):
+            _max_bytes_from_environment()
+
+
+class TestEviction:
+    def test_oldest_entries_pruned_past_cap(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path, enabled=True, max_bytes=None)
+        entries = [_store_blob(cache, key, 1000) for key in range(4)]
+        for index, entry in enumerate(entries):
+            _age(entry, seconds=1000 - index * 100)  # entry 0 is the oldest
+        cache.max_bytes = 2500
+        evicted = cache.enforce_size_cap()
+        assert evicted == 2
+        assert cache.stats.evicted == 2
+        assert not entries[0].exists() and not entries[1].exists()
+        assert entries[2].exists() and entries[3].exists()
+        assert cache.total_bytes() <= 2500
+
+    def test_store_triggers_eviction(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path, enabled=True, max_bytes=2500)
+        first = _store_blob(cache, 0, 1000)
+        _age(first, 500)
+        second = _store_blob(cache, 1, 1000)
+        _age(second, 400)
+        assert first.exists() and second.exists()
+        _store_blob(cache, 2, 1000)  # pushes the total past the cap
+        assert not first.exists()
+        assert second.exists()
+        assert cache.stats.evicted == 1
+
+    def test_fetch_hit_refreshes_lru_order(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path, enabled=True, max_bytes=None)
+        first = _store_blob(cache, 0, 1000)
+        second = _store_blob(cache, 1, 1000)
+        _age(first, 1000)
+        _age(second, 500)
+        # Touch the older entry: it becomes the most recently used.
+        assert cache.fetch("blob", {"key": 0}, _load_blob) is not None
+        cache.max_bytes = 1500
+        cache.enforce_size_cap()
+        assert first.exists()
+        assert not second.exists()
+
+    def test_most_recent_entry_survives_tiny_cap(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path, enabled=True, max_bytes=10)
+        entry = _store_blob(cache, 0, 1000)
+        assert entry.exists()  # a lone oversized entry is never churned
+
+    def test_disabled_cache_never_evicts(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path, enabled=False, max_bytes=1)
+        assert cache.enforce_size_cap() == 0
