@@ -1,0 +1,161 @@
+"""Refined-DoS attack library: adversarial scenarios beyond the constant flood.
+
+Five refined variants of the paper's flooding threat model, each a frozen
+:class:`~repro.attacks.base.AttackModel` with a vectorized, stream-identical
+traffic source under both simulator backends:
+
+=============  ==============================================================
+``pulsed``     duty-cycled on/off bursts that dodge per-window thresholds
+``ramping``    a sub-threshold FIR that climbs until far too late to ignore
+``migrating``  the flooding source hops across the mesh ahead of the fence
+``colluding``  N distributed sources, each below the single-attacker
+               detection FIR, aggregating on one victim
+``onroute``    a colluder hidden *on* another flow's route — the Table-Like
+               Method's single-window blind spot
+=============  ==============================================================
+
+:func:`default_attack_suite` builds the canonical deterministic placement of
+every variant for a given mesh — the robustness matrix and the equivalence
+tests share it.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackModel, AttackSource
+from repro.attacks.colluding import ColludingFloodAttack
+from repro.attacks.migrating import MigratingFloodAttack
+from repro.attacks.onroute import OnRouteFloodAttack
+from repro.attacks.pulsed import PulsedFloodAttack
+from repro.attacks.ramping import RampingFloodAttack
+from repro.noc.topology import MeshTopology
+
+__all__ = [
+    "ATTACK_LIBRARY",
+    "AttackModel",
+    "AttackSource",
+    "ColludingFloodAttack",
+    "MigratingFloodAttack",
+    "OnRouteFloodAttack",
+    "PulsedFloodAttack",
+    "RampingFloodAttack",
+    "default_attack",
+    "default_attack_suite",
+]
+
+#: Registry of every attack variant by its ``name``.
+ATTACK_LIBRARY: dict[str, type[AttackModel]] = {
+    cls.name: cls
+    for cls in (
+        PulsedFloodAttack,
+        RampingFloodAttack,
+        MigratingFloodAttack,
+        ColludingFloodAttack,
+        OnRouteFloodAttack,
+    )
+}
+
+
+def default_attack(
+    name: str,
+    topology: MeshTopology,
+    sample_period: int,
+    fir: float = 0.8,
+    colluding_fir: float = 0.2,
+) -> AttackModel:
+    """The canonical deterministic placement of one variant on ``topology``.
+
+    ``fir`` is the loud-flow injection rate (burst/peak/primary rate
+    depending on the variant); ``colluding_fir`` the per-source rate of the
+    distributed flood.  Time constants are expressed in sampling periods so
+    the same attack shape stresses the monitor identically at every scale:
+    the pulse duty-cycles *within* a window, the ramp climbs over several
+    windows, and a migration dwell spans a few windows per position.
+    """
+    rows, cols = topology.rows, topology.columns
+    if rows < 6 or cols < 6:
+        raise ValueError("default attack placements need at least a 6x6 mesh")
+    victim = topology.node_id(1, 1)
+    far_corner = topology.node_id(cols - 2, rows - 2)
+    if name == "pulsed":
+        return PulsedFloodAttack(
+            attackers=(far_corner,),
+            victim=victim,
+            fir=min(1.0, fir * 1.125),
+            on_cycles=max(1, sample_period // 3),
+            off_cycles=max(1, 2 * sample_period // 3),
+        )
+    if name == "ramping":
+        return RampingFloodAttack(
+            attackers=(far_corner,),
+            victim=victim,
+            fir_start=0.05,
+            fir_peak=fir,
+            ramp_cycles=5 * sample_period,
+        )
+    if name == "migrating":
+        # The source patrols the east edge and floods the victim from three
+        # different rows — every hop's route keeps the two-leg (row, then
+        # column) shape.  Pure edge-row/column flows are a measured detector
+        # soft spot at scale and belong to their own stimulus study, not in
+        # the canonical migration placement.
+        return MigratingFloodAttack(
+            path=(
+                far_corner,
+                topology.node_id(cols - 2, 1),
+                topology.node_id(cols - 2, rows // 2),
+            ),
+            victim=victim,
+            fir=fir,
+            # Four windows per position: the first window of a dwell mostly
+            # pays for congestion build-up, so a three-window dwell leaves a
+            # large mesh at most two convictable windows per visit.
+            dwell_cycles=4 * sample_period,
+        )
+    if name == "colluding":
+        # The colluders surround a *central* victim in a cross: one straight
+        # single-leg flow per direction, no two flows sharing a router.  A
+        # corner victim cascades (outer colluders hide behind brighter inner
+        # ones on the shared legs — the on-route problem, not the
+        # distributed one), and quadrant placements funnel every flow
+        # through one junction router that then looks exactly like the
+        # attacker.  The cross keeps each source the unique frontier of its
+        # own directional frame.
+        center_x, center_y = cols // 2, rows // 2
+        return ColludingFloodAttack(
+            sources=(
+                topology.node_id(1, center_y),
+                topology.node_id(cols - 2, center_y),
+                topology.node_id(center_x, 1),
+                topology.node_id(center_x, rows - 2),
+            ),
+            victim=topology.node_id(center_x, center_y),
+            fir=colluding_fir,
+        )
+    if name == "onroute":
+        # The primary runs the standard far-corner diagonal (row leg, then
+        # column leg) — a single-row edge flow is a weak stimulus on large
+        # meshes — and the colluder parks mid-way along the row leg, inside
+        # the primary's fused victim set.
+        return OnRouteFloodAttack(
+            primary_attacker=far_corner,
+            onroute_attacker=topology.node_id(cols // 2, rows - 2),
+            victim=victim,
+            primary_fir=fir,
+            onroute_fir=fir * 0.625,
+        )
+    raise KeyError(f"unknown attack variant {name!r}; known: {sorted(ATTACK_LIBRARY)}")
+
+
+def default_attack_suite(
+    topology: MeshTopology,
+    sample_period: int,
+    fir: float = 0.8,
+    colluding_fir: float = 0.2,
+) -> dict[str, AttackModel]:
+    """All five canonical attack placements for ``topology``, keyed by name."""
+    return {
+        name: default_attack(
+            name, topology, sample_period, fir=fir, colluding_fir=colluding_fir
+        )
+        for name in ATTACK_LIBRARY
+    }

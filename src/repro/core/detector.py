@@ -9,6 +9,7 @@ probability that a flooding attack is in progress anywhere on the NoC.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -113,6 +114,12 @@ class DoSDetector:
             seed=self.config.seed,
         )
         self.trained = model is not None
+        #: 95th percentile of the detector's probability on *benign* training
+        #: samples — its resting operating point.  Consumers (the evidence
+        #: accumulator's stealth floor) use it to tell "slightly elevated"
+        #: from "this detector always hums at 0.35": absolute probability
+        #: levels are an artifact of the trained model and mesh scale.
+        self.benign_calibration: float | None = None
 
     # -- training ------------------------------------------------------------
     def fit(
@@ -141,6 +148,11 @@ class DoSDetector:
             early_stopping=EarlyStopping(patience=patience),
         )
         self.trained = True
+        benign = dataset.inputs[dataset.labels.reshape(-1) < 0.5]
+        if benign.shape[0]:
+            self.benign_calibration = float(
+                np.percentile(self.predict_proba(benign), 95)
+            )
         return DetectorTrainingSummary(
             epochs=history.epochs,
             final_loss=history.loss[-1],
@@ -181,18 +193,38 @@ class DoSDetector:
 
     # -- persistence --------------------------------------------------------------
     def save(self, path: str | Path) -> Path:
-        """Persist the trained model to ``path`` (``.npz``)."""
-        return save_model(self.model, path)
+        """Persist the trained model (``.npz``) plus its calibration sidecar."""
+        saved = save_model(self.model, path)
+        sidecar = self._calibration_path(saved)
+        if self.benign_calibration is not None:
+            sidecar.write_text(
+                json.dumps({"benign_calibration": self.benign_calibration})
+            )
+        else:
+            # An uncalibrated model must not inherit a previous occupant's
+            # sidecar at the same path — stale calibration would silently
+            # misplace the evidence accumulator's stealth floor.
+            sidecar.unlink(missing_ok=True)
+        return saved
 
     @classmethod
     def load(
         cls, path: str | Path, config: DL2FenceConfig | None = None
     ) -> "DoSDetector":
-        """Load a previously saved detector."""
+        """Load a previously saved detector (calibration sidecar optional)."""
         model = load_model(path)
         detector = cls(model.input_shape, config=config, model=model)
         detector.trained = True
+        sidecar = cls._calibration_path(Path(path))
+        if sidecar.exists():
+            detector.benign_calibration = float(
+                json.loads(sidecar.read_text())["benign_calibration"]
+            )
         return detector
+
+    @staticmethod
+    def _calibration_path(model_path: Path) -> Path:
+        return Path(model_path).with_suffix(".calibration.json")
 
     @property
     def num_parameters(self) -> int:

@@ -46,6 +46,10 @@ class LocalizationResult:
     detection_probability: float
     victims: list[int] = field(default_factory=list)
     attackers: list[int] = field(default_factory=list)
+    #: TLM candidates discarded for sitting inside the fused victim set —
+    #: route turning points, or on-route attackers posing as one (consumed
+    #: by the cross-window evidence accumulator).
+    frontier: list[int] = field(default_factory=list)
     abnormal_directions: list[Direction] = field(default_factory=list)
     fused_mask: np.ndarray | None = None
     direction_masks: dict[Direction, np.ndarray] = field(default_factory=dict)
@@ -123,11 +127,22 @@ class DL2Fence:
 
     # -- online processing -------------------------------------------------------
     def process_sample(
-        self, sample: FrameSample, force_localization: bool = False
+        self,
+        sample: FrameSample,
+        force_localization: bool = False,
+        detection: tuple[bool, float] | None = None,
     ) -> LocalizationResult:
-        """Run one monitor sample through detection, segmentation and fusion."""
+        """Run one monitor sample through detection, segmentation and fusion.
+
+        ``detection`` may carry an already-computed ``(detected,
+        probability)`` pair for this sample so a caller re-running the
+        localization stages (the guard's sub-threshold evidence path) does
+        not pay the detector forward pass twice.
+        """
         detection_frames = sample.feature(self.config.detection_feature)
-        detected, probability = self.detector.detect(detection_frames)
+        if detection is None:
+            detection = self.detector.detect(detection_frames)
+        detected, probability = detection
         result = LocalizationResult(
             cycle=sample.cycle, detected=detected, detection_probability=probability
         )
@@ -183,9 +198,11 @@ class DL2Fence:
         result.estimated_attacker_count = estimate_attacker_count(
             self.topology, direction_victims
         )
-        result.attackers = self.tlm.localize_attackers(
+        tlm_results, frontier = self.tlm.localize_with_frontier(
             direction_victims, fused_victims=victims
         )
+        result.attackers = sorted(r.attacker for r in tlm_results)
+        result.frontier = frontier
         return result
 
     def _direction_victims(

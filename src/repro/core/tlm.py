@@ -121,18 +121,37 @@ class TableLikeMethod:
             route turning points and are discarded.  Defaults to the union of
             ``direction_victims``.
         """
+        results, _ = self.localize_with_frontier(direction_victims, fused_victims)
+        return results
+
+    def localize_with_frontier(
+        self, direction_victims: dict[Direction, set[int]], fused_victims: set[int] | None = None
+    ) -> tuple[list[TLMResult], list[int]]:
+        """Like :meth:`localize`, also returning the discarded candidates.
+
+        The second element lists every candidate rejected for falling inside
+        the fused victim set — geometrically a route turning point, but also
+        exactly where an **on-route attacker** hides (the single-window blind
+        spot of the method).  The cross-window evidence accumulator of
+        :mod:`repro.defense.evidence` consumes this *frontier* so persistent
+        in-victim-set candidates can still be convicted over time.
+        """
         if fused_victims is None:
             fused_victims = set()
             for victims in direction_victims.values():
                 fused_victims.update(victims)
         results: list[TLMResult] = []
         seen: set[int] = set()
+        frontier: set[int] = set()
         for direction in Direction.cardinal():
             victims = direction_victims.get(direction, set())
             if not victims:
                 continue
             for candidate in self._candidates_for_direction(direction, victims):
-                if candidate in fused_victims or candidate in seen:
+                if candidate in fused_victims:
+                    frontier.add(candidate)
+                    continue
+                if candidate in seen:
                     continue
                 seen.add(candidate)
                 results.append(
@@ -142,7 +161,7 @@ class TableLikeMethod:
                         evidence=tuple(sorted(victims)),
                     )
                 )
-        return results
+        return results, sorted(frontier)
 
     def localize_attackers(
         self, direction_victims: dict[Direction, set[int]], **kwargs

@@ -10,11 +10,16 @@ The paper's framework detects and localizes refined flooding-DoS so that a
   subscribes to the global performance monitor stream, runs each window
   through the trained pipeline, and pulls the injection rate-limit hook on
   the mesh for every localized attacker;
+* :mod:`repro.defense.evidence` — :class:`EvidenceAccumulator`, per-node
+  EWMA suspicion fused across sampling windows (with decay and conviction
+  hysteresis), which is what makes pulsed/ramping/migrating/colluding/
+  on-route attacks localizable when no single window convicts them;
 * :mod:`repro.defense.report` — :class:`DefenseReport`, the per-window
   timeline with detection latency, time-to-mitigation, benign latency
   before/during/after engagement, and collateral-damage accounting.
 """
 
+from repro.defense.evidence import EvidenceAccumulator, EvidenceConfig
 from repro.defense.guard import DL2FenceGuard
 from repro.defense.policy import MitigationPolicy
 from repro.defense.report import DefenseEvent, DefenseReport, WindowRecord
@@ -23,6 +28,8 @@ __all__ = [
     "DL2FenceGuard",
     "DefenseEvent",
     "DefenseReport",
+    "EvidenceAccumulator",
+    "EvidenceConfig",
     "MitigationPolicy",
     "WindowRecord",
 ]

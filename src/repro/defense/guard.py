@@ -43,6 +43,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.pipeline import DL2Fence
+from repro.defense.evidence import EvidenceAccumulator, EvidenceConfig
 from repro.defense.policy import MitigationPolicy
 from repro.defense.report import DefenseEvent, DefenseReport, WindowRecord
 from repro.monitor.frames import FrameSample
@@ -73,14 +74,28 @@ class DL2FenceGuard:
         attack_end: int | None = None,
         true_attackers: tuple[int, ...] = (),
         force_localization: bool = False,
+        evidence: EvidenceConfig | bool = True,
     ) -> None:
         """``attack_start``, ``attack_end`` and ``true_attackers`` are
         optional ground truth used only for evaluation metrics (detection
         latency, recovery, collateral); the guard's decisions never read
-        them."""
+        them.
+
+        ``evidence`` configures the cross-window evidence accumulator the
+        guard consults alongside the per-window Table-Like Method (see
+        :mod:`repro.defense.evidence`): ``True`` (the default) uses
+        :class:`EvidenceConfig` defaults, an explicit config tunes it, and
+        ``False`` restores pure single-window localization."""
         self.fence = fence
         self.policy = policy or MitigationPolicy()
         self.force_localization = force_localization
+        if evidence is True:
+            evidence = EvidenceConfig()
+        self.evidence_config: EvidenceConfig | None = evidence or None
+        # Built lazily on the first window (the scripted test harness wires
+        # a guard to a simulator without attach(), so the mesh size is only
+        # reliably known once a sample arrives).
+        self.evidence: EvidenceAccumulator | None = None
         self.simulator: NoCSimulator | None = None
         self.monitor: GlobalPerformanceMonitor | None = None
         self.report = DefenseReport(
@@ -145,21 +160,73 @@ class DL2FenceGuard:
 
     # -- the closed loop -----------------------------------------------------
     def on_sample(self, sample: FrameSample, simulator: NoCSimulator) -> None:
-        """Process one sampling window: detect, localize, mitigate, record."""
+        """Process one sampling window: detect, accumulate, localize, mitigate.
+
+        The window's actionable attacker set is the union of the Table-Like
+        Method's per-window localization and the nodes the cross-window
+        evidence accumulator currently holds convicted.  A window counts as
+        "acted on" when either the detector fires or the evidence convicts a
+        not-yet-fenced node — the latter is what makes stealth, migrating
+        and on-route attacks actionable even though no single window trips
+        the detector.  Convictions on already-fenced nodes deliberately do
+        *not* keep the loop in attack mode: a fenced attacker leaves no
+        fresh evidence, so its stale suspicion must not block the release
+        probing the hysteresis machinery schedules.
+        """
         engaged_at_start = bool(self._engaged)
         result = self.fence.process_sample(
             sample, force_localization=self.force_localization
         )
         latency, benign_count, malicious_count = self._window_latency(simulator)
 
-        if result.detected:
-            if self._consecutive_detections == 0:
+        convicted: list[int] = []
+        if self.evidence_config is not None:
+            if self.evidence is None:
+                self.evidence = EvidenceAccumulator(
+                    simulator.topology.num_nodes, self.evidence_config
+                )
+            weight = self.evidence.window_weight(
+                result.detected,
+                result.detection_probability,
+                benign_calibration=getattr(
+                    getattr(self.fence, "detector", None), "benign_calibration", None
+                ),
+            )
+            if not result.detected and weight > 0.0 and not self.force_localization:
+                # Sub-threshold window: run segmentation anyway so weak
+                # evidence (partial routes, frontier candidates) enters the
+                # accumulator instead of being discarded with the window.
+                # The detection outcome is handed back in, so the detector
+                # forward pass is not repeated.
+                result = self.fence.process_sample(
+                    sample,
+                    force_localization=True,
+                    detection=(result.detected, result.detection_probability),
+                )
+            fresh = self.evidence.observe(result, weight)
+            if fresh:
                 self.report.events.append(
                     DefenseEvent(
                         cycle=sample.cycle,
-                        kind="detected",
-                        detail=f"p={result.detection_probability:.2f}",
+                        kind="convicted",
+                        nodes=tuple(sorted(fresh)),
+                        detail="cross-window evidence",
                     )
+                )
+            convicted = self.evidence.convicted_nodes()
+
+        acted = result.detected or any(
+            node not in self._engaged for node in convicted
+        )
+        flagged = sorted(set(result.attackers).union(convicted))
+
+        if acted:
+            if self._consecutive_detections == 0:
+                detail = f"p={result.detection_probability:.2f}"
+                if not result.detected:
+                    detail += " evidence"
+                self.report.events.append(
+                    DefenseEvent(cycle=sample.cycle, kind="detected", detail=detail)
                 )
             self._consecutive_detections += 1
             self._consecutive_clean = 0
@@ -173,15 +240,15 @@ class DL2FenceGuard:
                 # fence suppresses the evidence), so streaks survive there.
                 self._flag_streaks.clear()
 
-        if result.detected:
-            self._engage_flagged(result.attackers, sample.cycle, simulator)
-            self._rollback_stale(set(result.attackers), sample.cycle, simulator)
+        if acted:
+            self._engage_flagged(flagged, sample.cycle, simulator)
+            self._rollback_stale(set(flagged), sample.cycle, simulator)
         elif self._engaged:
             self._release_ready(sample.cycle, simulator)
 
         if engaged_at_start:
             phase = "mitigated"
-        elif result.detected:
+        elif acted:
             phase = "attack"
         else:
             phase = "benign"
@@ -189,7 +256,7 @@ class DL2FenceGuard:
             WindowRecord(
                 index=self._window_index,
                 cycle=sample.cycle,
-                detected=result.detected,
+                detected=acted,
                 probability=result.detection_probability,
                 phase=phase,
                 victims=tuple(result.victims),
@@ -198,6 +265,7 @@ class DL2FenceGuard:
                 benign_latency=latency,
                 benign_delivered=benign_count,
                 malicious_delivered=malicious_count,
+                suspected=tuple(convicted),
             )
         )
         self._window_index += 1
@@ -247,6 +315,15 @@ class DL2FenceGuard:
             newly_engaged.append(node)
         if newly_engaged:
             self._round += 1
+            # A new localization round just opened: the attack is still
+            # surfacing attackers, and a fenced attacker is indistinguishable
+            # from a false positive (no evidence either way).  Restart the
+            # stale clocks of every held node so the round churn cannot roll
+            # back attacker k right as attacker k+1 engages — the whack-a-mole
+            # failure of multi-source floods.  Once rounds stop opening, the
+            # stale clocks run again and innocents release as before.
+            for state in self._engaged.values():
+                state.windows_since_flagged = 0
             self.report.events.append(
                 DefenseEvent(
                     cycle=cycle,
@@ -333,6 +410,11 @@ class DL2FenceGuard:
         # can be fenced again — without this, a streak surviving a partial
         # release would let one noisy localization instantly re-engage it.
         self._flag_streaks.pop(node, None)
+        if self.evidence is not None:
+            # The release is a probe: whatever suspicion the node retained
+            # while fenced is stale (a fenced flood leaves no signature), so
+            # re-conviction must come from fresh post-release evidence.
+            self.evidence.reset_node(node)
         if self.policy.flush_queue:
             # Restart the interface cleanly: the backlog accumulated while
             # fenced would otherwise pour out the moment the limit lifts.

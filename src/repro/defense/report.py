@@ -65,6 +65,9 @@ class WindowRecord:
     benign_latency: float = math.nan
     benign_delivered: int = 0
     malicious_delivered: int = 0
+    #: Nodes the cross-window evidence accumulator held convicted this
+    #: window (empty when the guard runs with evidence fusion disabled).
+    suspected: tuple[int, ...] = ()
 
 
 @dataclass
@@ -381,6 +384,7 @@ class DefenseReport:
                     "benign_latency": scrub(w.benign_latency),
                     "benign_delivered": w.benign_delivered,
                     "malicious_delivered": w.malicious_delivered,
+                    "suspected": list(w.suspected),
                 }
                 for w in self.windows
             ],
@@ -434,6 +438,7 @@ class DefenseReport:
                     "victims": tuple(window["victims"]),
                     "attackers": tuple(window["attackers"]),
                     "restricted": tuple(window["restricted"]),
+                    "suspected": tuple(window.get("suspected", ())),
                 }
             )
             for window in data["windows"]

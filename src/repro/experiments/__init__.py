@@ -10,6 +10,8 @@ Every table and figure of the evaluation section has a driver here; the
 * Figure 5 — :mod:`repro.experiments.overhead_sweep`
 * Table 4 — :mod:`repro.experiments.comparison`
 * Closed-loop mitigation (beyond the paper) — :mod:`repro.experiments.mitigation`
+* Refined-DoS robustness matrix (beyond the paper) —
+  :mod:`repro.experiments.robustness`
 """
 
 from repro.experiments.config import ExperimentConfig
@@ -32,6 +34,11 @@ from repro.experiments.localization_examples import (
 )
 from repro.experiments.overhead_sweep import run_overhead_sweep
 from repro.experiments.comparison import ComparisonRow, run_comparison
+from repro.experiments.robustness import (
+    RobustnessPoint,
+    run_attack_episode,
+    run_robustness_matrix,
+)
 from repro.experiments.tables import format_feature_table, format_rows
 
 __all__ = [
@@ -42,8 +49,11 @@ __all__ = [
     "LatencyPoint",
     "LocalizationExample",
     "MitigationPoint",
+    "RobustnessPoint",
     "format_feature_table",
     "format_rows",
+    "run_attack_episode",
+    "run_robustness_matrix",
     "run_comparison",
     "run_defended_episode",
     "run_feature_experiment",

@@ -39,9 +39,11 @@ from repro.traffic.scenario import AttackScenario, MultiAttackScenario
 
 __all__ = [
     "ASYMMETRIC_FLOW_FIRS",
+    "EpisodeShape",
     "MitigationPoint",
     "baseline_benign_latency",
     "default_multi_scenario",
+    "sweep_fence_key_payload",
     "train_defense_pipeline",
     "run_defended_episode",
     "run_mitigation_sweep",
@@ -231,7 +233,7 @@ def scaled_flow_firs(profile: tuple[float, ...], fir: float) -> tuple[float, ...
 
 
 @dataclass(frozen=True)
-class _EpisodeShape:
+class EpisodeShape:
     """Cycle arithmetic shared by every run of the same attack episode."""
 
     total_cycles: int
@@ -241,7 +243,7 @@ class _EpisodeShape:
     @classmethod
     def from_windows(
         cls, builder: DatasetBuilder, pre: int, attack: int, post: int
-    ) -> "_EpisodeShape":
+    ) -> "EpisodeShape":
         period = builder.config.sample_period
         warmup = builder.config.warmup_cycles
         return cls(
@@ -255,7 +257,7 @@ def _attacked_simulator(
     builder: DatasetBuilder,
     benchmark: str,
     scenario: AttackScenario | MultiAttackScenario,
-    shape: _EpisodeShape,
+    shape: EpisodeShape,
     seed: int,
 ) -> NoCSimulator:
     """The defended run's system under attack (identical for all comparators).
@@ -306,7 +308,7 @@ def baseline_benign_latency(
     Independent of FIR and policy — compute it once per mesh/benchmark when
     sweeping.
     """
-    shape = _EpisodeShape.from_windows(
+    shape = EpisodeShape.from_windows(
         builder, pre_attack_windows, attack_windows, post_attack_windows
     )
     simulator = NoCSimulator(builder.config.simulation_config())
@@ -344,7 +346,7 @@ def run_defended_episode(
     trying to get back to.  Pass ``baseline_latency`` to reuse a previously
     measured value instead of re-simulating it.
     """
-    shape = _EpisodeShape.from_windows(
+    shape = EpisodeShape.from_windows(
         builder, pre_attack_windows, attack_windows, post_attack_windows
     )
     if scenario is None:
@@ -394,7 +396,7 @@ def unmitigated_attack_latency(
     the first window so the congestion has built up) — the do-nothing
     comparator for the mitigated latency.
     """
-    shape = _EpisodeShape.from_windows(
+    shape = EpisodeShape.from_windows(
         builder, pre_attack_windows, attack_windows, post_attack_windows
     )
     if scenario is None:
@@ -431,7 +433,7 @@ class _SweepTask:
     baseline: float | None = None
 
 
-def _fence_key_payload(
+def sweep_fence_key_payload(
     experiment: ExperimentConfig, training_benchmarks: tuple[str, ...]
 ) -> dict:
     """The training configuration that identifies a sweep's fence.
@@ -665,7 +667,7 @@ def _compute_mitigation_points(
         # Per-episode caching: each task is memoised individually (like
         # scenario runs), so changing one FIR — or adding a policy — only
         # simulates the episodes that are actually new.
-        fence_key = _fence_key_payload(experiment, training_benchmarks)
+        fence_key = sweep_fence_key_payload(experiment, training_benchmarks)
         cache_keys = [_task_cache_payload(task, fence_key) for task in tasks]
         cached = [
             _fetch_task_result(engine, kind, payload) for kind, payload in cache_keys

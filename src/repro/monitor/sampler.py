@@ -18,7 +18,6 @@ from repro.monitor.features import FeatureKind, extract_feature_frames
 from repro.monitor.frames import DirectionalFrame, FrameSample, FrameSet
 from repro.noc.simulator import NoCSimulator
 from repro.noc.topology import Direction
-from repro.traffic.flooding import FloodingAttacker
 
 __all__ = ["MonitorConfig", "GlobalPerformanceMonitor"]
 
@@ -41,20 +40,30 @@ class GlobalPerformanceMonitor:
     def __init__(self, config: MonitorConfig | None = None) -> None:
         self.config = config or MonitorConfig()
         self.samples: list[FrameSample] = []
-        self._attackers: list[FloodingAttacker] = []
+        self._attackers: list = []
         self._listeners: list[Callable[[FrameSample, NoCSimulator], None]] = []
+        self._window_start: int | None = None
 
     # -- wiring ------------------------------------------------------------
     def attach(self, simulator: NoCSimulator) -> "GlobalPerformanceMonitor":
-        """Register the monitor as a periodic observer of ``simulator``."""
+        """Register the monitor as a periodic observer of ``simulator``.
+
+        Malicious sources are recognised by their ``is_attack_source``
+        marker (both :class:`~repro.traffic.flooding.FloodingAttacker` and
+        every :class:`~repro.attacks.AttackSource` of the refined-DoS
+        library carry it), so the ground-truth ``attack_active`` flag works
+        for any attack shape without the monitor importing attack classes.
+        """
         simulator.add_observer(self.config.sample_period, self.sample)
         self._attackers = [
-            source for source in simulator.sources if isinstance(source, FloodingAttacker)
+            source
+            for source in simulator.sources
+            if getattr(source, "is_attack_source", False)
         ]
         return self
 
-    def watch_attacker(self, attacker: FloodingAttacker) -> None:
-        """Track an attacker for ground-truth 'attack active' flags."""
+    def watch_attacker(self, attacker) -> None:
+        """Track an attacker (any ``is_active_at`` source) for ground truth."""
         self._attackers.append(attacker)
 
     def add_listener(
@@ -91,9 +100,22 @@ class GlobalPerformanceMonitor:
                 values=boc_values[direction],
                 cycle=cycle,
             )
-        attack_active = any(
-            attacker.is_active_at(cycle) for attacker in self._attackers
+        # Window-level ground truth: the flag covers every cycle since the
+        # previous sample, not just the sampling instant — a pulsed attack
+        # bursting between two instants still marks its windows active.
+        # Sources without the interval API fall back to the instant probe.
+        window_start = (
+            self._window_start
+            if self._window_start is not None
+            else max(0, cycle - self.config.sample_period)
         )
+        attack_active = any(
+            attacker.is_active_in(window_start, cycle + 1)
+            if hasattr(attacker, "is_active_in")
+            else attacker.is_active_at(cycle)
+            for attacker in self._attackers
+        )
+        self._window_start = cycle + 1
         sample = FrameSample(
             cycle=cycle,
             vco=FrameSet(kind=FeatureKind.VCO, frames=vco_frames, cycle=cycle),

@@ -25,6 +25,7 @@ default, or ``object``) or explicitly via
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -49,21 +50,42 @@ DIRECTION_INDEX: dict[Direction, int] = {
 _INDEX_DIRECTION = {index: direction for direction, index in DIRECTION_INDEX.items()}
 
 
+#: Largest node count for which the O(nodes²) XY next-hop table is
+#: precomputed; bigger meshes route on the fly from coordinates.  At the
+#: default 48x48 cut-over the table already costs ~10 MB of int16 plus
+#: ~21 MB of fused int32 route slots; a 64x64 mesh would need 4x that.
+#: Override with ``REPRO_XY_TABLE_MAX_NODES`` (0 forces on-the-fly routing
+#: everywhere — the equivalence tests use that).
+DEFAULT_XY_TABLE_MAX_NODES = 48 * 48
+
+
+def _route_table_enabled(num_nodes: int) -> bool:
+    """Whether ``num_nodes`` is small enough for the precomputed route table."""
+    raw = os.environ.get("REPRO_XY_TABLE_MAX_NODES", "")
+    limit = int(raw) if raw else DEFAULT_XY_TABLE_MAX_NODES
+    return num_nodes <= limit
+
+
 @dataclass(frozen=True)
 class MeshTables:
     """Static per-topology lookup tables shared by every SoA network.
 
     ``route[n, d]`` is the XY output direction (as a :data:`DIRECTION_INDEX`
     value) chosen at node ``n`` for destination ``d`` — the precomputed
-    next-hop table that replaces per-flit routing calls.
+    next-hop table that replaces per-flit routing calls.  It is ``None``
+    past the :data:`DEFAULT_XY_TABLE_MAX_NODES` cut-over, where the switch
+    kernel computes directions on the fly from the ``x``/``y`` coordinate
+    columns instead (the table is O(nodes²) and stops paying for itself).
     """
 
     neighbor: np.ndarray  # (N, 5) int64, -1 at the mesh edge
     port_exists: np.ndarray  # (N, 5) bool, input ports present per node
     port_pos: np.ndarray  # (N, 5) int64, position in the router's port list
     nports: np.ndarray  # (N,) int64
-    route: np.ndarray  # (N, N) int16, XY next-hop direction index
+    route: np.ndarray | None  # (N, N) int16, XY next-hop direction index
     opposite: np.ndarray  # (5,) int64, direction seen from the other side
+    x: np.ndarray  # (N,) int64, node column coordinate
+    y: np.ndarray  # (N,) int64, node row coordinate
 
 
 @dataclass(frozen=True)
@@ -80,7 +102,9 @@ class _VcTables:
     * ``down_port[node * 5 + out_dir]`` — flat port id of the downstream
       input port reached through ``out_dir`` (-1 at edges / LOCAL);
     * ``route_slot[node * N + dest]`` — the fused XY lookup yielding the
-      arbitration slot id ``node * 5 + out_dir`` in a single gather.
+      arbitration slot id ``node * 5 + out_dir`` in a single gather, or
+      ``None`` past the route-table cut-over (the switch kernel then
+      derives the slot from coordinates on the fly).
     """
 
     q_node: np.ndarray
@@ -89,16 +113,21 @@ class _VcTables:
     q_node_base: np.ndarray
     key_table: np.ndarray
     down_port: np.ndarray
-    route_slot: np.ndarray
+    route_slot: np.ndarray | None
 
 
-_TABLES_CACHE: dict[tuple[int, int], MeshTables] = {}
-_VC_TABLES_CACHE: dict[tuple[int, int, int], _VcTables] = {}
+#: Keyed by (rows, columns, with_route_table) — the route-table cut-over is
+#: part of the identity, so flipping REPRO_XY_TABLE_MAX_NODES can never
+#: serve stale tables.
+_TABLES_CACHE: dict[tuple[int, int, bool], MeshTables] = {}
+#: Keyed by (rows, columns, num_vcs, with_route_table).
+_VC_TABLES_CACHE: dict[tuple[int, int, int, bool], _VcTables] = {}
 
 
 def mesh_tables(topology: MeshTopology) -> MeshTables:
     """Build (or reuse) the static lookup tables for ``topology``."""
-    cache_key = (topology.rows, topology.columns)
+    with_route_table = _route_table_enabled(topology.num_nodes)
+    cache_key = (topology.rows, topology.columns, with_route_table)
     cached = _TABLES_CACHE.get(cache_key)
     if cached is not None:
         return cached
@@ -127,21 +156,23 @@ def mesh_tables(topology: MeshTopology) -> MeshTables:
     port_pos[:, 1:5] = np.where(port_exists[:, 1:5], np.cumsum(cardinal, axis=1), -1)
     nports = 1 + cardinal.sum(axis=1)
 
-    cx, dx = x[:, None], x[None, :]
-    cy, dy = y[:, None], y[None, :]
-    route = np.where(
-        cx < dx,
-        DIRECTION_INDEX[Direction.EAST],
-        np.where(
-            cx > dx,
-            DIRECTION_INDEX[Direction.WEST],
+    route = None
+    if with_route_table:
+        cx, dx = x[:, None], x[None, :]
+        cy, dy = y[:, None], y[None, :]
+        route = np.where(
+            cx < dx,
+            DIRECTION_INDEX[Direction.EAST],
             np.where(
-                cy < dy,
-                DIRECTION_INDEX[Direction.NORTH],
-                np.where(cy > dy, DIRECTION_INDEX[Direction.SOUTH], 0),
+                cx > dx,
+                DIRECTION_INDEX[Direction.WEST],
+                np.where(
+                    cy < dy,
+                    DIRECTION_INDEX[Direction.NORTH],
+                    np.where(cy > dy, DIRECTION_INDEX[Direction.SOUTH], 0),
+                ),
             ),
-        ),
-    ).astype(np.int16)
+        ).astype(np.int16)
 
     opposite = np.array([0, 3, 4, 1, 2], dtype=np.int64)  # L, E→W, N→S, W→E, S→N
 
@@ -152,6 +183,8 @@ def mesh_tables(topology: MeshTopology) -> MeshTables:
         nports=nports,
         route=route,
         opposite=opposite,
+        x=x,
+        y=y,
     )
     _TABLES_CACHE[cache_key] = tables
     return tables
@@ -159,7 +192,12 @@ def mesh_tables(topology: MeshTopology) -> MeshTables:
 
 def _vc_tables(topology: MeshTopology, num_vcs: int) -> _VcTables:
     """Build (or reuse) the per-VC lookup tables of the switch kernel."""
-    cache_key = (topology.rows, topology.columns, num_vcs)
+    cache_key = (
+        topology.rows,
+        topology.columns,
+        num_vcs,
+        _route_table_enabled(topology.num_nodes),
+    )
     cached = _VC_TABLES_CACHE.get(cache_key)
     if cached is not None:
         return cached
@@ -187,10 +225,12 @@ def _vc_tables(topology: MeshTopology, num_vcs: int) -> _VcTables:
             targets[valid] * 5 + tables.opposite[direction]
         )
 
-    node_ids = np.arange(num_nodes, dtype=np.int64)
-    route_slot = np.ascontiguousarray(
-        (node_ids[:, None] * 5 + tables.route).reshape(-1).astype(np.int32)
-    )
+    route_slot = None
+    if tables.route is not None:
+        node_ids = np.arange(num_nodes, dtype=np.int64)
+        route_slot = np.ascontiguousarray(
+            (node_ids[:, None] * 5 + tables.route).reshape(-1).astype(np.int32)
+        )
 
     built = _VcTables(
         q_node=q_node,

@@ -206,7 +206,26 @@ def switch(net, cycle: int) -> None:
     is_head = (val & FIDX_MASK) == 0
     # Fused XY lookup: the table directly yields the (router, output) slot
     # id ``node * 5 + out_dir``; LOCAL outputs are the slots ≡ 0 (mod 5).
-    slot_id = net._route_slot[net._q_node_base[q] + net._pkt_dest.values[pkt]]
+    # Past the route-table cut-over (O(nodes²) memory) the direction is
+    # derived on the fly from coordinates — a handful of elementwise ops on
+    # the candidate set instead of one gather into a quadratic table.
+    dest = net._pkt_dest.values[pkt]
+    if net._route_slot is not None:
+        slot_id = net._route_slot[net._q_node_base[q] + dest]
+    else:
+        node = net._q_node[q]
+        tables = net._tables
+        nx = tables.x[node]
+        ny = tables.y[node]
+        dx = tables.x[dest]
+        dy = tables.y[dest]
+        # DIRECTION_INDEX order: LOCAL=0, EAST=1, NORTH=2, WEST=3, SOUTH=4.
+        out_dir = np.where(
+            nx < dx,
+            1,
+            np.where(nx > dx, 3, np.where(ny < dy, 2, np.where(ny > dy, 4, 0))),
+        )
+        slot_id = net._q_node5[q] + out_dir
     eject = slot_id % 5 == 0
     key = net._key_table[cycle % KEY_PERIOD][q]
 

@@ -25,7 +25,9 @@ import numpy as np
 __all__ = ["CACHE_SCHEMA_VERSION", "canonical_payload", "cache_key"]
 
 #: Version salt folded into every cache key (see module docstring).
-CACHE_SCHEMA_VERSION = 1
+#: v2: the defense guard consults the cross-window evidence accumulator by
+#: default, changing every cached mitigation/robustness episode timeline.
+CACHE_SCHEMA_VERSION = 2
 
 
 def canonical_payload(obj: Any) -> Any:

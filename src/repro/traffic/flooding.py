@@ -79,6 +79,10 @@ class FloodingConfig:
 class FloodingAttacker:
     """Traffic source injecting flooding packets from attackers to the victim."""
 
+    #: Marker the global performance monitor uses to track ground-truth
+    #: "attack active" flags (shared with :class:`repro.attacks.AttackSource`).
+    is_attack_source = True
+
     def __init__(
         self,
         config: FloodingConfig,
@@ -107,6 +111,18 @@ class FloodingAttacker:
         if self.config.end_cycle is not None and cycle >= self.config.end_cycle:
             return False
         return True
+
+    def is_active_in(self, start: int, end: int) -> bool:
+        """True when the attack window overlaps ``[start, end)`` at all.
+
+        Window-level ground truth for the monitor: a constant-rate flood is
+        active in every window its [start_cycle, end_cycle) range touches.
+        """
+        if not self.active:
+            return False
+        lo = max(start, self.config.start_cycle)
+        hi = end if self.config.end_cycle is None else min(end, self.config.end_cycle)
+        return hi > lo
 
     # -- TrafficSource protocol -------------------------------------------------
     def _draw_batch(self, cycle: int) -> np.ndarray | None:

@@ -259,15 +259,20 @@ class ScenarioGenerator:
         min_distance: int = 2,
         min_victim_separation: int = 3,
         attackers_per_flow: int = 1,
+        allow_on_route: bool = False,
     ) -> MultiAttackScenario:
         """Draw ``num_flows`` concurrent flooding flows on disjoint victims.
 
         Victims are kept at least ``min_victim_separation`` hops apart so the
-        flows congest different mesh regions, no node plays two roles
-        (attacker or victim) across flows, and no attacker sits on another
-        flow's XY route: an attacker inside the fused victim set is
-        geometrically indistinguishable from a route turning point, the one
-        single-window blind spot of the Table-Like Method.
+        flows congest different mesh regions and no node plays two roles
+        (attacker or victim) across flows.  By default no attacker sits on
+        another flow's XY route either: an attacker inside the fused victim
+        set is geometrically indistinguishable from a route turning point,
+        the one single-window blind spot of the Table-Like Method.
+        ``allow_on_route=True`` lifts that exclusion — the adversarial
+        placement the cross-window evidence accumulator exists to catch
+        (see :class:`repro.attacks.OnRouteFloodAttack` for the deterministic
+        library variant).
         """
         if num_flows < 1:
             raise ValueError("num_flows must be >= 1")
@@ -286,7 +291,9 @@ class ScenarioGenerator:
                 used.update(candidate.attackers)
                 used.add(candidate.victim)
                 victims.append(candidate.victim)
-            if len(flows) == num_flows and not self._routes_cross_attackers(flows):
+            if len(flows) == num_flows and (
+                allow_on_route or not self._routes_cross_attackers(flows)
+            ):
                 return MultiAttackScenario(flows=tuple(flows), benchmark=benchmark)
         raise RuntimeError("could not sample a valid multi-attack scenario")
 

@@ -52,3 +52,51 @@ class TestExperimentConfig:
         ):
             monkeypatch.delenv(name, raising=False)
         assert ExperimentConfig.from_environment() == ExperimentConfig()
+
+
+class TestOperatingPoints:
+    """The adaptive benign-rate / scenario-spread table keyed by mesh scale."""
+
+    def test_small_meshes_keep_the_default_point(self):
+        config = ExperimentConfig.for_mesh(8)
+        assert config.rows == 8
+        assert config.benign_injection_rate == ExperimentConfig().benign_injection_rate
+        assert config.scenarios_per_benchmark == (
+            ExperimentConfig().scenarios_per_benchmark
+        )
+
+    def test_paper_scale_16x16_widens_training_spread(self):
+        """At 16x16 a spread of 2 leaves the detector blind to edge flows."""
+        config = ExperimentConfig.for_mesh(16)
+        assert config.benign_injection_rate == 0.02
+        assert config.scenarios_per_benchmark == 6
+
+    def test_32x32_reproduces_the_hand_tuned_point(self):
+        """PR 4's 32x32 sweep needed 0.01 / 12-per-benchmark — now automatic."""
+        config = ExperimentConfig.for_mesh(32)
+        assert config.benign_injection_rate == 0.01
+        assert config.scenarios_per_benchmark == 12
+
+    def test_rate_falls_and_spread_grows_with_scale(self):
+        from repro.experiments.config import operating_point
+
+        rates = []
+        spreads = []
+        for rows in (8, 16, 20, 32, 64):
+            rate, spread = operating_point(rows)
+            rates.append(rate)
+            spreads.append(spread)
+        assert rates == sorted(rates, reverse=True)
+        assert spreads == sorted(spreads)
+
+    def test_overrides_win_over_the_table(self):
+        config = ExperimentConfig.for_mesh(32, benign_injection_rate=0.005, seed=9)
+        assert config.benign_injection_rate == 0.005
+        assert config.seed == 9
+        assert config.scenarios_per_benchmark == 12
+
+    def test_invalid_rows(self):
+        from repro.experiments.config import operating_point
+
+        with pytest.raises(ValueError):
+            operating_point(2)

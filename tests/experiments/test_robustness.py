@@ -1,0 +1,98 @@
+"""Unit/driver tests for the robustness-matrix sweep plumbing.
+
+The containment acceptance itself lives in
+``benchmarks/bench_robustness_matrix.py`` (it needs properly trained 8x8
+and 16x16 pipelines); these tests cover the driver mechanics at the quick
+test scale — point assembly, lossless payload round-trips, per-episode
+caching and input validation.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.robustness import (
+    DEFAULT_ROBUSTNESS_POLICY,
+    RobustnessPoint,
+    run_robustness_matrix,
+)
+from repro.runtime.cache import ArtifactCache
+from repro.runtime.engine import ExperimentEngine
+from repro.runtime.parallel import ParallelRunner
+
+QUICK = ExperimentConfig.quick()
+
+
+def make_point(**overrides):
+    values = dict(
+        attack="pulsed",
+        rows=8,
+        policy="quarantine",
+        detected=True,
+        detection_latency=200,
+        time_to_mitigation=400,
+        time_to_full_containment=600,
+        num_attackers=1,
+        attackers_fenced=1,
+        contained=True,
+        collateral_nodes=(),
+        collateral_node_windows=0,
+        localization_rounds=1,
+        reengagements=0,
+        evidence_convictions=1,
+        baseline_latency=9.5,
+        attack_latency=12.0,
+        unmitigated_latency=16.0,
+        mitigated_latency=9.8,
+        recovery_ratio=1.03,
+        description="pulsed flood",
+    )
+    values.update(overrides)
+    return RobustnessPoint(**values)
+
+
+class TestRobustnessPoint:
+    def test_payload_round_trip(self):
+        point = make_point(collateral_nodes=(3, 7))
+        assert RobustnessPoint.from_payload(point.to_payload()) == point
+
+    def test_as_dict_is_table_shaped(self):
+        row = make_point().as_dict()
+        assert row["attack"] == "pulsed"
+        assert row["contained"] is True
+        assert row["collateral"] == 0
+
+
+class TestRunRobustnessMatrix:
+    def test_unknown_attack_rejected(self):
+        with pytest.raises(KeyError):
+            run_robustness_matrix(
+                attacks=("teleporting",), engine=ExperimentEngine.disabled()
+            )
+
+    def test_quick_scale_end_to_end(self, tmp_path):
+        """One variant at the quick scale: points assemble, cache memoises."""
+        engine = ExperimentEngine(
+            cache=ArtifactCache(root=tmp_path, enabled=True),
+            runner=ParallelRunner(workers=1),
+        )
+        kwargs = dict(
+            attacks=("pulsed",),
+            rows_values=(QUICK.rows,),
+            config=QUICK,
+            attack_windows=6,
+            engine=engine,
+        )
+        points = run_robustness_matrix(**kwargs)
+        assert len(points) == 1
+        point = points[0]
+        assert point.attack == "pulsed"
+        assert point.rows == QUICK.rows
+        assert point.policy == DEFAULT_ROBUSTNESS_POLICY.name
+        assert point.num_attackers == 1
+        assert not math.isnan(point.baseline_latency)
+        assert point.description.startswith("pulsed flood")
+        # Second call is served from the matrix cache, identically.
+        again = run_robustness_matrix(**kwargs)
+        assert [p.to_payload() for p in again] == [p.to_payload() for p in points]
