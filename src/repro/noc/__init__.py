@@ -33,17 +33,28 @@ from repro.noc.routing import (
 from repro.noc.router import InputPort, Router, VirtualChannel
 from repro.noc.network import MeshNetwork
 from repro.noc.soa import SoAMeshNetwork
-from repro.noc.backend import BACKENDS, DEFAULT_BACKEND, build_network, resolve_backend
+from repro.noc.soa_batch import BatchedSoAMeshNetwork, SoAMeshLane
+from repro.noc.backend import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    build_network,
+    episode_batch_size,
+    resolve_backend,
+)
 from repro.noc.simulator import NoCSimulator, SimulationConfig
+from repro.noc.batch_sim import BatchedNoCSimulator, LaneSimulator
 from repro.noc.stats import LatencyStats, NetworkStats
 
 __all__ = [
     "BACKENDS",
+    "BatchedNoCSimulator",
+    "BatchedSoAMeshNetwork",
     "DEFAULT_BACKEND",
     "Direction",
     "Flit",
     "FlitType",
     "InputPort",
+    "LaneSimulator",
     "LatencyStats",
     "MeshNetwork",
     "MeshTopology",
@@ -52,9 +63,11 @@ __all__ = [
     "Packet",
     "Router",
     "SimulationConfig",
+    "SoAMeshLane",
     "SoAMeshNetwork",
     "VirtualChannel",
     "build_network",
+    "episode_batch_size",
     "resolve_backend",
     "reverse_xy_sources",
     "xy_next_direction",

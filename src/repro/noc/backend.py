@@ -24,10 +24,41 @@ from repro.noc.network import MeshNetwork
 from repro.noc.soa import SoAMeshNetwork
 from repro.noc.topology import MeshTopology
 
-__all__ = ["BACKENDS", "DEFAULT_BACKEND", "resolve_backend", "build_network"]
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "DEFAULT_EPISODE_BATCH",
+    "resolve_backend",
+    "episode_batch_size",
+    "build_network",
+]
 
 BACKENDS = ("soa", "object")
 DEFAULT_BACKEND = "soa"
+
+#: Default episode-batch width of the batched SoA mode (``REPRO_EPISODE_BATCH``).
+DEFAULT_EPISODE_BATCH = 16
+
+
+def episode_batch_size(default: int = DEFAULT_EPISODE_BATCH) -> int:
+    """Episode-batch width from ``REPRO_EPISODE_BATCH`` (values <= 1 disable).
+
+    Governs how many independent episodes the batched SoA backend advances
+    per kernel dispatch when a consumer (e.g.
+    :meth:`repro.runtime.engine.ExperimentEngine.build_runs`) fans out
+    episode sets.  Purely a performance knob: per-episode results are
+    fingerprint-identical at any width (``tests/noc/test_batched_equivalence.py``).
+    """
+    raw = os.environ.get("REPRO_EPISODE_BATCH", "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError as error:
+        raise ValueError(
+            f"REPRO_EPISODE_BATCH must be an integer, got {raw!r}"
+        ) from error
+    return max(1, value)
 
 
 def resolve_backend(explicit: str = "") -> str:
@@ -49,9 +80,31 @@ def build_network(
     vc_depth: int = 4,
     injection_bandwidth: int = 1,
     source_queue_capacity: int = 512,
+    episodes: int = 1,
 ) -> MeshNetwork | SoAMeshNetwork:
-    """Instantiate the selected mesh-network backend."""
+    """Instantiate the selected mesh-network backend.
+
+    ``episodes > 1`` selects the episode-batched SoA mode: one
+    :class:`repro.noc.soa_batch.BatchedSoAMeshNetwork` advancing that many
+    independent mesh copies per kernel dispatch (only the ``soa`` backend
+    supports it — the object model has no batch axis).
+    """
     name = resolve_backend(backend)
+    if episodes > 1:
+        if name != "soa":
+            raise ValueError(
+                f"episode batching requires the 'soa' backend, not {name!r}"
+            )
+        from repro.noc.soa_batch import BatchedSoAMeshNetwork
+
+        return BatchedSoAMeshNetwork(
+            topology,
+            episodes,
+            num_vcs=num_vcs,
+            vc_depth=vc_depth,
+            injection_bandwidth=injection_bandwidth,
+            source_queue_capacity=source_queue_capacity,
+        )
     network_cls = SoAMeshNetwork if name == "soa" else MeshNetwork
     return network_cls(
         topology,

@@ -1,0 +1,214 @@
+"""Episode-batched simulation driver over :class:`BatchedSoAMeshNetwork`.
+
+:class:`BatchedNoCSimulator` advances N independent simulation episodes —
+each with its own traffic sources, observers and defense hooks — with one
+kernel dispatch per cycle.  Each episode is wired through a
+:class:`LaneSimulator`, a view that exposes the :class:`NoCSimulator`
+surface (``add_source`` / ``add_observer`` / ``network`` / ``stats`` /
+throttle hooks) so existing consumers — the global performance monitor, the
+dataset builder, the defense guard — attach to a lane exactly as they would
+to a solo simulator.
+
+Ingress is grouped: each cycle, the batch-capable sources at the same
+source *position* across lanes are drained together and handed to
+:meth:`BatchedSoAMeshNetwork.enqueue_group` as one cross-episode sweep.
+Positions are processed outer-loop so the within-lane enqueue order
+(workload before attacker) matches the solo simulator's source order, and
+every source keeps its own per-episode RNG stream — the emitted packet
+streams are identical per episode to a solo run with the same seeds
+(pinned by ``tests/noc/test_batched_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.noc.backend import resolve_backend
+from repro.noc.simulator import SimulationConfig, TrafficSource
+from repro.noc.soa_batch import BatchedSoAMeshNetwork, SoAMeshLane
+from repro.noc.stats import LatencyStats
+
+__all__ = ["BatchedNoCSimulator", "LaneSimulator"]
+
+
+class LaneSimulator:
+    """The ``NoCSimulator``-facing view of one episode of a batched run.
+
+    Holds the episode's traffic sources and observers; the parent
+    :class:`BatchedNoCSimulator` drives them.  Observer callbacks receive
+    this lane, so samplers written against ``NoCSimulator`` (reading
+    ``.network`` / ``.cycle`` / ``.sources``) run unchanged per episode.
+    """
+
+    def __init__(self, parent: "BatchedNoCSimulator", index: int) -> None:
+        self._parent = parent
+        self.lane_index = index
+        self.config = parent.config
+        self.topology = parent.topology
+        self.backend = parent.backend
+        self.network: SoAMeshLane = parent.network.lane(index)
+        self.sources: list[TrafficSource] = []
+        self._observers: list[tuple[int, Callable[["LaneSimulator"], None]]] = []
+
+    @property
+    def cycle(self) -> int:
+        return self._parent.cycle
+
+    # -- wiring ------------------------------------------------------------
+    def add_source(self, source: TrafficSource) -> None:
+        """Attach a traffic source to this episode."""
+        self.sources.append(source)
+
+    def add_observer(
+        self, period: int, callback: Callable[["LaneSimulator"], None]
+    ) -> None:
+        """Call ``callback(self)`` every ``period`` cycles after warmup."""
+        if period <= 0:
+            raise ValueError("observer period must be positive")
+        self._observers.append((period, callback))
+
+    # -- runtime defense hooks ---------------------------------------------
+    def throttle_node(self, node_id: int, fraction: float) -> None:
+        self.network.set_injection_limit(node_id, fraction)
+
+    def quarantine_node(self, node_id: int) -> None:
+        self.network.set_injection_limit(node_id, 0.0)
+
+    def release_node(self, node_id: int) -> None:
+        self.network.set_injection_limit(node_id, 1.0)
+
+    @property
+    def restricted_nodes(self) -> list[int]:
+        return self.network.restricted_nodes
+
+    # -- results -----------------------------------------------------------
+    @property
+    def stats(self):
+        return self.network.stats
+
+    def latency(self, benign_only: bool = True) -> LatencyStats:
+        return self.network.stats.latency(benign_only=benign_only)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LaneSimulator({self.lane_index} of {self._parent.episodes}, "
+            f"cycle={self.cycle})"
+        )
+
+
+class BatchedNoCSimulator:
+    """Drives N independent episodes with one kernel dispatch per cycle."""
+
+    def __init__(
+        self, config: SimulationConfig | None = None, episodes: int = 1
+    ) -> None:
+        if episodes < 1:
+            raise ValueError("episodes must be >= 1")
+        self.config = config or SimulationConfig()
+        self.backend = resolve_backend(self.config.backend)
+        if self.backend != "soa":
+            raise ValueError(
+                "episode batching requires the 'soa' backend "
+                f"(configured: {self.backend!r})"
+            )
+        self.topology = self.config.topology()
+        self.episodes = int(episodes)
+        # Constructed directly rather than via build_network(): episodes=1
+        # must still yield a batched network here (the N=1 equivalence pin),
+        # while build_network keeps returning the plain solo backend for it.
+        self.network = BatchedSoAMeshNetwork(
+            self.topology,
+            self.episodes,
+            num_vcs=self.config.num_vcs,
+            vc_depth=self.config.vc_depth,
+            injection_bandwidth=self.config.injection_bandwidth,
+            source_queue_capacity=self.config.source_queue_capacity,
+        )
+        self.lanes: list[LaneSimulator] = [
+            LaneSimulator(self, index) for index in range(self.episodes)
+        ]
+        self.cycle = 0
+
+    def lane(self, index: int) -> LaneSimulator:
+        """The per-episode simulator view of episode ``index``."""
+        return self.lanes[index]
+
+    # -- execution ----------------------------------------------------------
+    def step(self) -> None:
+        """Advance every episode by a single cycle."""
+        cycle = self.cycle
+        self._ingress(cycle)
+        self.network.step(cycle)
+        post_warmup = cycle - self.config.warmup_cycles
+        if post_warmup >= 0:
+            for lane in self.lanes:
+                for period, callback in lane._observers:
+                    if post_warmup > 0 and post_warmup % period == 0:
+                        callback(lane)
+        self.cycle += 1
+
+    def run(self, cycles: int) -> None:
+        """Advance every episode by ``cycles`` cycles."""
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        for _ in range(cycles):
+            self.step()
+
+    def _ingress(self, cycle: int) -> None:
+        """Drain every lane's sources for ``cycle``, grouped across lanes.
+
+        Source positions are processed outer-loop: all lanes' position-0
+        sources are enqueued before any position-1 source, so the relative
+        enqueue order *within* a lane (e.g. benign workload before
+        attacker) is exactly the solo simulator's.  Batch emissions of the
+        same shape (packet size, malicious flag) are concatenated into one
+        cross-lane :meth:`BatchedSoAMeshNetwork.enqueue_group` sweep;
+        per-packet sources fall back to the lane's scalar enqueue.
+        """
+        network = self.network
+        max_sources = max((len(lane.sources) for lane in self.lanes), default=0)
+        for position in range(max_sources):
+            groups: dict[tuple[int, bool], list[tuple[int, np.ndarray, np.ndarray]]]
+            groups = {}
+            for lane in self.lanes:
+                if position >= len(lane.sources):
+                    continue
+                source = lane.sources[position]
+                batch_fn = getattr(source, "packet_batch_for_cycle", None)
+                if batch_fn is None:
+                    for packet in source.packets_for_cycle(cycle):
+                        lane.network.enqueue_packet(packet)
+                    continue
+                batch = batch_fn(cycle)
+                if batch is None:
+                    continue
+                sources, destinations, size_flits, malicious = batch
+                groups.setdefault((int(size_flits), bool(malicious)), []).append(
+                    (lane.lane_index, np.asarray(sources), np.asarray(destinations))
+                )
+            for (size_flits, malicious), entries in groups.items():
+                if len(entries) == 1:
+                    index, sources, destinations = entries[0]
+                    network.lane(index).enqueue_batch(
+                        sources, destinations, size_flits, cycle, malicious
+                    )
+                    continue
+                lane_ids = np.concatenate(
+                    [
+                        np.full(sources.size, index, dtype=np.int64)
+                        for index, sources, _ in entries
+                    ]
+                )
+                all_sources = np.concatenate([s for _, s, _ in entries])
+                all_destinations = np.concatenate([d for _, _, d in entries])
+                network.enqueue_group(
+                    lane_ids, all_sources, all_destinations, size_flits, cycle, malicious
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BatchedNoCSimulator({self.topology.rows}x{self.topology.columns}"
+            f" x{self.episodes} episodes, cycle={self.cycle})"
+        )

@@ -59,11 +59,15 @@ _INDEX_DIRECTION = {index: direction for direction, index in DIRECTION_INDEX.ite
 DEFAULT_XY_TABLE_MAX_NODES = 48 * 48
 
 
+def _xy_table_limit() -> int:
+    """Node-count cut-over for the precomputed XY route table."""
+    raw = os.environ.get("REPRO_XY_TABLE_MAX_NODES", "")
+    return int(raw) if raw else DEFAULT_XY_TABLE_MAX_NODES
+
+
 def _route_table_enabled(num_nodes: int) -> bool:
     """Whether ``num_nodes`` is small enough for the precomputed route table."""
-    raw = os.environ.get("REPRO_XY_TABLE_MAX_NODES", "")
-    limit = int(raw) if raw else DEFAULT_XY_TABLE_MAX_NODES
-    return num_nodes <= limit
+    return num_nodes <= _xy_table_limit()
 
 
 @dataclass(frozen=True)
@@ -274,20 +278,27 @@ class SoAMeshNetwork:
         self.stats = NetworkStats()
         self.dropped_packets = 0
 
-        num_nodes = topology.num_nodes
+        self._install_tables()
+        # All state arrays are sized by the *array* node count, which equals
+        # the topology's node count here but spans every episode block in
+        # the batched subclass (repro.noc.soa_batch).
+        num_nodes = self._array_nodes
         num_ports = num_nodes * 5
         num_vc_slots = num_ports * num_vcs
-        self._tables = mesh_tables(topology)
-        vc_tables = _vc_tables(topology, num_vcs)
-        self._q_node = vc_tables.q_node
-        self._q_port = vc_tables.q_port
-        self._q_node5 = vc_tables.q_node5
-        self._q_node_base = vc_tables.q_node_base
-        self._key_table = vc_tables.key_table
-        self._down_port = vc_tables.down_port
-        self._route_slot = vc_tables.route_slot
         self._arange_vcs = np.arange(num_vcs, dtype=np.int64)
         self._best_key = np.empty(num_ports, dtype=np.int32)
+        # Power-of-two fast paths for the kernels: ring-index wraps become a
+        # bitwise AND instead of numpy's runtime-divisor ``%`` (a hardware
+        # integer division per element), and the LOCAL-output test becomes a
+        # gather from a cache-resident bool table instead of ``slot_id % 5``.
+        self._depth_mask = vc_depth - 1 if vc_depth & (vc_depth - 1) == 0 else None
+        self._cap_mask = (
+            source_queue_capacity - 1
+            if source_queue_capacity & (source_queue_capacity - 1) == 0
+            else None
+        )
+        self._slot_is_local = np.zeros(num_ports, dtype=bool)
+        self._slot_is_local[::5] = True
         # Continuation-VC cache per node: the LOCAL VC the most recent head
         # flit was injected into (see soa_step._inject_pass).
         self._node_vc = np.zeros(num_nodes, dtype=np.int64)
@@ -343,6 +354,55 @@ class SoAMeshNetwork:
         self._pkt_dest = _GrowableInt()
         self._pkt_injected = _GrowableInt()
         self._flit_templates: dict[int, np.ndarray] = {}
+
+    def _install_tables(self) -> None:
+        """Bind the static lookup tables and the state-array node count.
+
+        The batched subclass overrides this to install block-diagonal tiled
+        tables spanning every episode (see :mod:`repro.noc.soa_batch`); the
+        kernels of :mod:`repro.noc.soa_step` are agnostic to the difference.
+        """
+        self._tables = mesh_tables(self.topology)
+        vc_tables = _vc_tables(self.topology, self.num_vcs)
+        self._q_node = vc_tables.q_node
+        self._q_port = vc_tables.q_port
+        self._q_node5 = vc_tables.q_node5
+        self._q_node_base = vc_tables.q_node_base
+        self._key_table = vc_tables.key_table
+        self._down_port = vc_tables.down_port
+        self._route_slot = vc_tables.route_slot
+        # Per-VC arbitration-slot offset added after the route-table gather;
+        # only the batched disjoint-union subclass sets it (its table holds
+        # episode-local slot ids).
+        self._q_slot_off = None
+        self._array_nodes = self.topology.num_nodes
+
+    # -- kernel callbacks (rare per-packet events) ---------------------------
+    def _record_injected_ids(self, injected_ids: np.ndarray, cycle: int) -> None:
+        """Head flits of new packets entered the network this cycle."""
+        self._pkt_injected.values[injected_ids] = cycle
+        packets = self._packets
+        stats = self.stats
+        for pid in injected_ids.tolist():
+            packet = packets[pid]
+            packet.injected_cycle = cycle
+            stats.record_injected(packet)
+
+    def _record_ejections(
+        self, nodes: np.ndarray, tails: np.ndarray, pids: np.ndarray, cycle: int
+    ) -> None:
+        """Flits left the network at their LOCAL output this cycle."""
+        flits_ejected = self._flits_ejected
+        packets_ejected = self._packets_ejected
+        packets = self._packets
+        stats = self.stats
+        for node, tail, pid in zip(nodes.tolist(), tails.tolist(), pids.tolist()):
+            flits_ejected[node] += 1
+            if tail:
+                packets_ejected[node] += 1
+                packet = packets[pid]
+                packet.ejected_cycle = cycle
+                stats.record_delivered(packet)
 
     # -- injection interface ------------------------------------------------
     def enqueue_packet(self, packet: Packet) -> bool:
@@ -614,6 +674,14 @@ class SoAMeshNetwork:
             total += int((self._pkt_injected.values[pkts] >= 0).sum())
         return total
 
+    def _occ_samples_for_port(self, flat_port: int) -> int:
+        """Occupancy sample count governing ``flat_port``'s VCO average.
+
+        One global counter here; the batched subclass maps the port to its
+        episode's counter (episodes reset windows independently).
+        """
+        return self._occ_samples
+
     # -- object-backend compatibility views ---------------------------------
     @property
     def source_queues(self) -> "_SourceQueuesView":
@@ -731,7 +799,7 @@ class SoAPortView:
 
     @property
     def occupancy_samples(self) -> int:
-        return self._net._occ_samples
+        return self._net._occ_samples_for_port(self._flat)
 
     @property
     def instantaneous_occupancy(self) -> float:
@@ -745,9 +813,10 @@ class SoAPortView:
 
     @property
     def vc_occupancy(self) -> float:
-        if self._net._occ_samples == 0:
+        samples = self._net._occ_samples_for_port(self._flat)
+        if samples == 0:
             return self.instantaneous_occupancy
-        return self.occupancy_sum / self._net._occ_samples
+        return self.occupancy_sum / samples
 
     @property
     def buffered_flits(self) -> int:

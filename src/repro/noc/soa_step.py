@@ -56,6 +56,15 @@ KEY_PERIOD = 60
 _BIG = np.int32(1 << 30)
 
 
+def _wrap(value: np.ndarray, modulus: int, mask: int | None) -> np.ndarray:
+    """Ring-buffer index wrap: bitmask when the modulus is a power of two.
+
+    numpy's ``%`` with a runtime divisor issues a hardware integer division
+    per element; the masked form is a single cheap op on the hot arrays.
+    """
+    return value & mask if mask is not None else value % modulus
+
+
 # -- phase 1: injection -------------------------------------------------------
 
 
@@ -145,9 +154,11 @@ def _inject_pass(net, nodes: np.ndarray, cycle: int) -> np.ndarray:
             throttled = throttled[has_vc]
 
     # Pop the source queue, push into the chosen VC.
-    net._sq_head[nodes] = (front + 1) % capacity
+    net._sq_head[nodes] = _wrap(front + 1, capacity, net._cap_mask)
     net._sq_count[nodes] -= 1
-    slot = vc * depth + (net._vc_head[vc] + net._vc_count[vc]) % depth
+    slot = vc * depth + _wrap(
+        net._vc_head[vc] + net._vc_count[vc], depth, net._depth_mask
+    )
     net._vc_slots[slot] = val
     net._vc_count[vc] += 1
     local_ports = nodes * 5
@@ -165,14 +176,7 @@ def _inject_pass(net, nodes: np.ndarray, cycle: int) -> np.ndarray:
 
     new_idx = np.nonzero(new_head)[0]
     if new_idx.size:
-        injected_ids = pkt[new_idx]
-        net._pkt_injected.values[injected_ids] = cycle
-        packets = net._packets
-        stats = net.stats
-        for pid in injected_ids.tolist():
-            packet = packets[pid]
-            packet.injected_cycle = cycle
-            stats.record_injected(packet)
+        net._record_injected_ids(pkt[new_idx], cycle)
 
     if net.injection_bandwidth == 1:
         return nodes[:0]
@@ -212,6 +216,13 @@ def switch(net, cycle: int) -> None:
     dest = net._pkt_dest.values[pkt]
     if net._route_slot is not None:
         slot_id = net._route_slot[net._q_node_base[q] + dest]
+        if net._q_slot_off is not None:
+            # Batched disjoint-union mode: the route table stays the solo
+            # per-episode one (small enough to sit in cache), q_node_base is
+            # biased so the fused index lands on the episode-local (node,
+            # dest) entry, and the episode's arbitration-slot offset is
+            # added here to globalise the slot id.
+            slot_id = slot_id + net._q_slot_off[q]
     else:
         node = net._q_node[q]
         tables = net._tables
@@ -226,7 +237,7 @@ def switch(net, cycle: int) -> None:
             np.where(nx > dx, 3, np.where(ny < dy, 2, np.where(ny > dy, 4, 0))),
         )
         slot_id = net._q_node5[q] + out_dir
-    eject = slot_id % 5 == 0
+    eject = net._slot_is_local[slot_id]
     key = net._key_table[cycle % KEY_PERIOD][q]
 
     # Downstream VC per candidate (-1 when the move is not possible).  Body
@@ -273,12 +284,14 @@ def switch(net, cycle: int) -> None:
     tail_idx = np.nonzero(win_tail)[0]
 
     # Pops (every winning move reads its source VC's head-of-line flit).
-    net._vc_head[src] = (net._vc_head[src] + 1) % depth
+    net._vc_head[src] = _wrap(net._vc_head[src] + 1, depth, net._depth_mask)
     net._vc_count[src] -= 1
     released = src[tail_idx]
     net._vc_alloc[released] = -1
     net._vc_down[released] = -1
-    np.add.at(net._buf_reads, src_port, 1)
+    # bincount + whole-array add beats np.add.at's per-element dispatch once
+    # the winner set is more than a handful of moves (the batched case).
+    net._buf_reads += np.bincount(src_port, minlength=net._buf_reads.size)
     tail_ports = src_port[tail_idx]
     np.add.at(net._occupied, tail_ports, -1)
     # A released VC may now be the port's first free one (two tails can pop
@@ -291,20 +304,12 @@ def switch(net, cycle: int) -> None:
     win_eject = eject[winners]
     eject_idx = np.nonzero(win_eject)[0]
     if eject_idx.size:
-        flits_ejected = net._flits_ejected
-        packets_ejected = net._packets_ejected
-        packets = net._packets
-        stats = net.stats
-        eject_nodes = net._q_node[src[eject_idx]].tolist()
-        eject_tails = win_tail[eject_idx].tolist()
-        eject_pids = (win_val[eject_idx] >> PKT_SHIFT).tolist()
-        for node, tail, pid in zip(eject_nodes, eject_tails, eject_pids):
-            flits_ejected[node] += 1
-            if tail:
-                packets_ejected[node] += 1
-                packet = packets[pid]
-                packet.ejected_cycle = cycle
-                stats.record_delivered(packet)
+        net._record_ejections(
+            net._q_node[src[eject_idx]],
+            win_tail[eject_idx],
+            win_val[eject_idx] >> PKT_SHIFT,
+            cycle,
+        )
 
     # Link traversals (pushes; distinct destination VCs by construction).
     fwd_idx = np.nonzero(~win_eject)[0]
@@ -313,14 +318,16 @@ def switch(net, cycle: int) -> None:
         fwd_val = win_val[fwd_idx]
         fwd_tail = win_tail[fwd_idx]
         head_idx2 = np.nonzero(is_head[winners[fwd_idx]])[0]
-        slot2 = dst * depth + (net._vc_head[dst] + net._vc_count[dst]) % depth
+        slot2 = dst * depth + _wrap(
+            net._vc_head[dst] + net._vc_count[dst], depth, net._depth_mask
+        )
         net._vc_slots[slot2] = fwd_val
         net._vc_count[dst] += 1
         head_dst = dst[head_idx2]
         net._vc_alloc[head_dst] = fwd_val[head_idx2] >> PKT_SHIFT
         net._vc_down[head_dst] = -1
         dst_port = net._q_port[dst]
-        np.add.at(net._buf_writes, dst_port, 1)
+        net._buf_writes += np.bincount(dst_port, minlength=net._buf_writes.size)
         if head_idx2.size:
             head_ports = dst_port[head_idx2]
             net._occupied[head_ports] += 1

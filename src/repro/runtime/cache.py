@@ -211,25 +211,35 @@ class ArtifactCache:
                 "key": entry.name,
                 "files": files,
             }
-            (staging / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+            manifest_path = staging / _MANIFEST
+            manifest_path.write_text(json.dumps(manifest, indent=2))
+            manifest_bytes = manifest_path.stat().st_size
+            won = False
             if entry.exists():
                 # A concurrent writer finished first; keep its entry.
                 self._purge(staging)
             else:
                 try:
                     os.replace(staging, entry)
+                    won = True
                 except OSError:
                     # Lost a rename race against a concurrent writer between
                     # the exists() check and the replace; its entry stands.
                     self._purge(staging)
-            self.stats.stores += 1
-            if self.max_bytes is not None:
-                if self._size_estimate is None:
-                    self._size_estimate = self.total_bytes()
-                else:
-                    self._size_estimate += sum(files.values())
-                if self._size_estimate > self.max_bytes:
-                    self.enforce_size_cap()
+            if won:
+                # Only a store that actually placed a new entry counts: a lost
+                # race purged its own staging dir, so bumping the counters for
+                # it would drift the size estimate above the real on-disk
+                # footprint (which total_bytes() — manifest included — is the
+                # ground truth for).
+                self.stats.stores += 1
+                if self.max_bytes is not None:
+                    if self._size_estimate is None:
+                        self._size_estimate = self.total_bytes()
+                    else:
+                        self._size_estimate += sum(files.values()) + manifest_bytes
+                    if self._size_estimate > self.max_bytes:
+                        self.enforce_size_cap()
             return entry
         except BaseException:
             self._purge(staging)

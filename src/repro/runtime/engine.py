@@ -133,6 +133,76 @@ def _simulate_run_bundle(task: RunTask) -> ArrayBundle:
     return _run_to_bundle(_simulate_run(task))
 
 
+def _simulate_batched_runs(tasks: tuple[RunTask, ...]) -> list[ScenarioRun]:
+    """Simulate independent run tasks as one episode-batched simulation.
+
+    Replays :meth:`DatasetBuilder.run_benchmark` for every task — same
+    workload/attacker seeds, same monitor wiring, same cycle count — but on
+    the lanes of one :class:`~repro.noc.batch_sim.BatchedNoCSimulator`, so
+    every kernel dispatch advances all of them at once.  Per-episode results
+    are fingerprint-identical to solo runs (the batched-equivalence pin).
+    """
+    from repro.monitor.sampler import GlobalPerformanceMonitor, MonitorConfig
+    from repro.noc.batch_sim import BatchedNoCSimulator
+
+    config = tasks[0].config
+    builder = DatasetBuilder(config)
+    batched = BatchedNoCSimulator(config.simulation_config(), episodes=len(tasks))
+    monitors = []
+    for index, task in enumerate(tasks):
+        lane = batched.lane(index)
+        lane.add_source(builder.make_workload(task.benchmark, seed=task.seed))
+        if task.scenario is not None:
+            lane.add_source(
+                task.scenario.attacker_source(
+                    builder.topology,
+                    seed=task.seed + 1,
+                    packet_size_flits=config.packet_size_flits,
+                )
+            )
+        monitors.append(
+            GlobalPerformanceMonitor(
+                MonitorConfig(sample_period=config.sample_period)
+            ).attach(lane)
+        )
+    batched.run(config.run_cycles)
+    return [
+        ScenarioRun(
+            benchmark=task.benchmark,
+            scenario=task.scenario,
+            samples=monitor.samples[: config.samples_per_run],
+            topology=builder.topology,
+        )
+        for task, monitor in zip(tasks, monitors)
+    ]
+
+
+def _simulate_batch_bundle(tasks: tuple[RunTask, ...]) -> ArrayBundle:
+    """Worker entry point for one episode-batched chunk of run tasks."""
+    metas = []
+    arrays: dict[str, np.ndarray] = {}
+    for r_index, run in enumerate(_simulate_batched_runs(tasks)):
+        bundle = _run_to_bundle(run)
+        metas.append(bundle.meta)
+        for key, values in bundle.arrays.items():
+            arrays[f"r{r_index}_{key}"] = values
+    return ArrayBundle(meta=metas, arrays=arrays)
+
+
+def _runs_from_batch_bundle(bundle: ArrayBundle) -> list[ScenarioRun]:
+    """Inverse of :func:`_simulate_batch_bundle` (parent-side)."""
+    runs = []
+    for r_index, meta in enumerate(bundle.meta):
+        prefix = f"r{r_index}_"
+        arrays = {
+            key[len(prefix) :]: values
+            for key, values in bundle.arrays.items()
+            if key.startswith(prefix)
+        }
+        runs.append(_run_from_bundle(ArrayBundle(meta=meta, arrays=arrays)))
+    return runs
+
+
 def _plan_run_tasks(
     config: DatasetConfig,
     benchmarks: list[str],
@@ -306,25 +376,50 @@ class ExperimentEngine:
             self.cache.fetch("scenario-run", task, _load_run) for task in tasks
         ]
         missing = [index for index, run in enumerate(runs) if run is None]
-        if self.runner.is_serial or len(missing) <= 1:
-            fresh = self.runner.map(
-                _simulate_run, [tasks[index] for index in missing]
-            )
-        else:
-            # Parallel path: workers return frame tensors through shared
-            # memory instead of pickling whole ScenarioRun objects back.
-            fresh = [
-                _run_from_bundle(bundle)
-                for bundle in self.runner.map_arrays(
-                    _simulate_run_bundle, [tasks[index] for index in missing]
-                )
-            ]
+        fresh = self._simulate_missing([tasks[index] for index in missing])
         for index, run in zip(missing, fresh):
             runs[index] = run
             self.cache.store(
                 "scenario-run", tasks[index], lambda d, run=run: _save_run(run, d)
             )
         return runs
+
+    def _simulate_missing(self, pending: list[RunTask]) -> list[ScenarioRun]:
+        """Simulate the uncached run tasks, episode-batched when possible.
+
+        With the ``soa`` backend, pending tasks are grouped into
+        episode-batched chunks of :func:`repro.noc.backend.episode_batch_size`
+        lanes each — one kernel dispatch per cycle advances a whole chunk —
+        and the chunks fan out across the worker processes (process
+        parallelism multiplying on top of the batch axis).  The ``object``
+        backend (or ``REPRO_EPISODE_BATCH<=1``) keeps the one-task-per-call
+        path.
+        """
+        from repro.noc.backend import episode_batch_size, resolve_backend
+
+        batch = episode_batch_size()
+        if len(pending) > 1 and batch > 1 and resolve_backend() == "soa":
+            chunks = [
+                tuple(pending[start : start + batch])
+                for start in range(0, len(pending), batch)
+            ]
+            if self.runner.is_serial or len(chunks) == 1:
+                fresh: list[ScenarioRun] = []
+                for chunk in chunks:
+                    fresh.extend(_simulate_batched_runs(chunk))
+                return fresh
+            fresh = []
+            for bundle in self.runner.map_arrays(_simulate_batch_bundle, chunks):
+                fresh.extend(_runs_from_batch_bundle(bundle))
+            return fresh
+        if self.runner.is_serial or len(pending) <= 1:
+            return self.runner.map(_simulate_run, pending)
+        # Parallel path: workers return frame tensors through shared
+        # memory instead of pickling whole ScenarioRun objects back.
+        return [
+            _run_from_bundle(bundle)
+            for bundle in self.runner.map_arrays(_simulate_run_bundle, pending)
+        ]
 
     # -- trained models -----------------------------------------------------
     def trained_fence(

@@ -115,11 +115,15 @@ class _ShmCall:
                     shape, dtype=np.dtype(dtype), buffer=segment.buf, offset=start
                 )
                 view[...] = array
-            handle = _ShmHandle(
-                meta=bundle.meta, segment_name=segment.name, layout=layout
-            )
-        finally:
+        except BaseException:
+            # The parent will never see this segment's name, so closing alone
+            # would strand the allocation in /dev/shm for the pool's lifetime;
+            # unlink before re-raising.
             segment.close()
+            segment.unlink()
+            raise
+        handle = _ShmHandle(meta=bundle.meta, segment_name=segment.name, layout=layout)
+        segment.close()
         return handle
 
 
@@ -139,7 +143,13 @@ def _unpack_handle(handle) -> ArrayBundle:
             arrays[name] = view.copy()
     finally:
         segment.close()
-        segment.unlink()
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            # A worker-side resource tracker beat us to the unlink (it fires
+            # when a pool worker exits); the attach above kept our mapping
+            # valid, so the copy is intact and the segment is already gone.
+            pass
     return ArrayBundle(meta=handle.meta, arrays=arrays)
 
 
@@ -154,7 +164,10 @@ def _discard_handle(handle) -> None:
     except OSError:  # pragma: no cover - already gone
         return
     segment.close()
-    segment.unlink()
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - concurrent tracker unlink
+        pass
 
 
 def configured_workers(default: int = 1) -> int:
@@ -246,19 +259,26 @@ class ParallelRunner:
             return self.map(fn, task_list)
         context = multiprocessing.get_context(self.start_method)
         processes = min(self.workers, len(task_list))
+        bundles: list[ArrayBundle] = []
+        # Unpack while the pool is still alive: a segment is parked between
+        # the worker's close() and the parent's unlink, and a worker-side
+        # resource tracker unlinks everything still registered the moment
+        # its worker exits — consuming the handles after the pool closed
+        # raced that cleanup (FileNotFoundError on attach at 32x32 scale).
         with context.Pool(processes=processes) as pool:
             handles = pool.map(_ShmCall(fn), task_list, chunksize=1)
-        bundles: list[ArrayBundle] = []
-        try:
-            for handle in handles:
-                bundles.append(_unpack_handle(handle))
-        except BaseException:
-            # Free the segments of the handles not consumed yet so a failed
-            # unpack cannot strand tens of MB in /dev/shm for the rest of a
-            # long-lived sweep process.
-            for handle in handles[len(bundles) + 1 :]:
-                _discard_handle(handle)
-            raise
+            try:
+                for handle in handles:
+                    bundles.append(_unpack_handle(handle))
+            except BaseException:
+                # Free the segments of the handles not consumed yet —
+                # including the one whose unpack just failed, which may not
+                # have reached its own cleanup — so a failed unpack cannot
+                # strand tens of MB in /dev/shm for the rest of a
+                # long-lived sweep process.
+                for handle in handles[len(bundles) :]:
+                    _discard_handle(handle)
+                raise
         return bundles
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,55 @@
+"""ArtifactCache store accounting: the size estimate tracks the real disk.
+
+``store()`` maintains an incremental ``_size_estimate`` so the LRU size cap
+does not rescan the cache root on every write.  Two drifts regression-pinned
+here:
+
+* a store that lost the concurrent-writer race (the entry already existed,
+  its own staging dir was purged) must not bump ``stats.stores`` or grow
+  the estimate — nothing was added to disk;
+* a winning store adds ``manifest.json`` to disk too, so an estimate built
+  from the data files alone permanently undercounts ``total_bytes()``.
+"""
+
+from repro.runtime.cache import ArtifactCache
+
+
+def _save_blob(directory, payload=b"x" * 512):
+    (directory / "blob.bin").write_bytes(payload)
+
+
+def _cache(tmp_path):
+    # max_bytes set (far above any test artifact) so the incremental size
+    # estimate is maintained on every store.
+    return ArtifactCache(root=tmp_path / "cache", enabled=True, max_bytes=1 << 30)
+
+
+class TestStoreAccounting:
+    def test_estimate_matches_disk_after_every_store(self, tmp_path):
+        """Incremental estimate == total_bytes() (manifest bytes included)."""
+        cache = _cache(tmp_path)
+        for key in range(4):
+            cache.store("kind", {"key": key}, _save_blob)
+            assert cache._size_estimate == cache.total_bytes(), key
+        assert cache.stats.stores == 4
+
+    def test_lost_race_is_not_counted(self, tmp_path):
+        """A store that found the entry already on disk adds nothing."""
+        cache = _cache(tmp_path)
+        cache.store("kind", {"key": 1}, _save_blob)
+        cache.store("kind", {"key": 2}, _save_blob)
+        stores = cache.stats.stores
+        estimate = cache._size_estimate
+        # Same payload again: the entry exists, so this store loses the
+        # "race" deterministically and purges its own staging dir.
+        cache.store("kind", {"key": 2}, _save_blob)
+        assert cache.stats.stores == stores
+        assert cache._size_estimate == estimate
+        assert cache._size_estimate == cache.total_bytes()
+
+    def test_estimate_survives_mixed_wins_and_losses(self, tmp_path):
+        cache = _cache(tmp_path)
+        for key in (1, 2, 1, 3, 2, 1):
+            cache.store("kind", {"key": key}, _save_blob)
+            assert cache._size_estimate == cache.total_bytes()
+        assert cache.stats.stores == 3

@@ -1,0 +1,134 @@
+"""Shared-memory segment lifetime on the map_arrays failure paths.
+
+Two leaks regression-pinned here (both stranded allocations in /dev/shm
+for the remaining lifetime of a long sweep process):
+
+* the parent-side cleanup of a failed ``map_arrays`` unpack skipped the
+  very handle whose unpack raised (``handles[len(bundles) + 1:]`` instead
+  of ``handles[len(bundles):]``);
+* a worker whose array copy into the segment raised closed the segment
+  but never unlinked it, so the allocation survived with no one holding
+  its name.
+
+Plus the inverse failure mode — premature *removal*: segments were
+consumed only after the ``with Pool`` block had torn the workers down,
+racing each worker's resource tracker (which unlinks everything still
+registered the moment its worker exits).  ``map_arrays`` now unpacks
+while the pool is alive, and the parent-side unlink tolerates the
+tracker getting there first.
+"""
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+import repro.runtime.parallel as parallel
+from repro.runtime.parallel import ArrayBundle, ParallelRunner, _ShmCall
+
+
+def _bundle_task(seed: int) -> ArrayBundle:
+    rng = np.random.default_rng(seed)
+    return ArrayBundle(meta={"seed": seed}, arrays={"a": rng.random((64, 64))})
+
+
+class _PoisonArray:
+    """Array-shaped payload whose materialisation raises mid-copy.
+
+    Carries the attributes the segment layout is computed from, so the
+    worker allocates the segment first — then the copy into it fails.
+    """
+
+    nbytes = 64
+    shape = (8,)
+    dtype = np.dtype(np.float64)
+
+    def __array__(self, *args, **kwargs):
+        raise RuntimeError("array payload refused to materialise")
+
+
+def _poison_bundle_task(seed: int) -> ArrayBundle:
+    return ArrayBundle(meta=None, arrays={"bad": _PoisonArray()})
+
+
+def _require_shared_memory():
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - ancient platforms
+        pytest.skip("multiprocessing.shared_memory unavailable")
+    return shared_memory
+
+
+class TestFailedUnpackCleanup:
+    def test_failing_unpack_leaves_zero_segments(self, monkeypatch):
+        """Every handle's segment is freed when an unpack raises mid-stream.
+
+        The fake unpack fails *before* touching the second handle's segment
+        (the worst case: the failing handle reached none of its own
+        cleanup), so only the parent's error path can free it.
+        """
+        shared_memory = _require_shared_memory()
+        monkeypatch.delenv("REPRO_SHM_FRAMES", raising=False)
+        runner = ParallelRunner(workers=2)
+
+        segment_names = []
+        real_unpack = parallel._unpack_handle
+
+        def failing_unpack(handle):
+            segment_names.append(handle.segment_name)
+            if len(segment_names) == 2:
+                raise RuntimeError("unpack failed before opening the segment")
+            return real_unpack(handle)
+
+        monkeypatch.setattr(parallel, "_unpack_handle", failing_unpack)
+        with pytest.raises(RuntimeError):
+            runner.map_arrays(_bundle_task, [1, 2, 3])
+
+        assert len(segment_names) == 2
+        for name in segment_names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_discard_handle_safe_on_already_freed_segment(self):
+        """_discard_handle tolerates a handle whose unpack already unlinked."""
+        _require_shared_memory()
+        handle = _ShmCall(_bundle_task)(5)
+        bundle = parallel._unpack_handle(handle)  # consumes + unlinks
+        assert np.array_equal(bundle.arrays["a"], _bundle_task(5).arrays["a"])
+        parallel._discard_handle(handle)  # must not raise
+
+
+class TestConcurrentTrackerUnlink:
+    def test_unpack_tolerates_tracker_winning_the_unlink(self, monkeypatch):
+        """A segment unlinked under us mid-unpack must not raise.
+
+        Reproduces the parent side of the resource-tracker race: the attach
+        and copy succeed, then the name vanishes (a worker's tracker
+        unlinked it at worker exit) before the parent's own unlink runs.
+        """
+        shared_memory = _require_shared_memory()
+        handle = _ShmCall(_bundle_task)(9)
+
+        real_unlink = shared_memory.SharedMemory.unlink
+
+        def preempted_unlink(self):
+            real_unlink(self)
+            raise FileNotFoundError(2, "No such file or directory", self._name)
+
+        monkeypatch.setattr(shared_memory.SharedMemory, "unlink", preempted_unlink)
+        bundle = parallel._unpack_handle(handle)
+        assert np.array_equal(bundle.arrays["a"], _bundle_task(9).arrays["a"])
+
+
+class TestWorkerCopyFailureCleanup:
+    def test_copy_failure_unlinks_segment(self):
+        """A failed copy into the segment must not strand the allocation."""
+        _require_shared_memory()
+        if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+            pytest.skip("/dev/shm not available")
+        before = set(os.listdir("/dev/shm"))
+        with pytest.raises(RuntimeError):
+            _ShmCall(_poison_bundle_task)(0)
+        leaked = set(os.listdir("/dev/shm")) - before
+        assert leaked == set()
