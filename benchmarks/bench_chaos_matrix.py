@@ -1,0 +1,136 @@
+"""Chaos matrix: the defense under monitor faults, recorded.
+
+The fault axis of the robustness matrix.  Every refined-DoS variant is
+replayed at 8x8 and 16x16 with a monitor-fault scenario installed between
+the sampler and the guard; the acceptance gate is the ``dropout_silent``
+scenario — >= 10% of monitor windows dropped *plus* one completely silent
+monitor node — against the fault-free ``none`` comparator.
+
+Three properties are gated per cell:
+
+* the attack still ends **contained** (all true attackers simultaneously
+  fenced, zero collateral);
+* **no fault-only node is ever engaged or convicted** — a silent or stuck
+  monitor is a hardware problem, and fencing its node would convert a
+  telemetry fault into a self-inflicted denial of service;
+* detection latency degrades by at most one sampling window relative to
+  the fault-free run of the same attack.
+
+Results land in ``benchmarks/results/chaos_matrix.{txt,json}``; the nightly
+``chaos-matrix`` job regenerates and uploads them.
+"""
+
+import os
+import time
+
+from repro.experiments.robustness import (
+    DEFAULT_ROBUSTNESS_POLICY,
+    run_chaos_matrix,
+)
+from repro.experiments.tables import format_rows
+
+from bench_utils import run_once, write_json_result, write_result
+
+
+def _fault_scenarios() -> tuple[str, ...]:
+    """Fault scenarios from ``REPRO_FAULTS`` (comma-separated names).
+
+    Defaults to the fault-free comparator plus the acceptance-gate
+    ``dropout_silent`` scenario; the nightly job widens this to the full
+    suite (``REPRO_FAULTS=all``).
+    """
+    raw = os.environ.get("REPRO_FAULTS", "").strip()
+    if not raw:
+        return ("none", "dropout_silent")
+    if raw.lower() == "all":
+        return ("none", "dropout", "silent", "dropout_silent", "stuck", "corrupt", "delay")
+    scenarios = tuple(part.strip() for part in raw.split(",") if part.strip())
+    return scenarios if "none" in scenarios else ("none",) + scenarios
+
+
+def _rows_values() -> tuple[int, ...]:
+    raw = os.environ.get("REPRO_ROBUSTNESS_ROWS", "").strip()
+    if not raw:
+        return (8, 16)
+    return tuple(int(part) for part in raw.split(","))
+
+
+FAULT_SCENARIOS = _fault_scenarios()
+ROWS_VALUES = _rows_values()
+
+RESULT_NAME = (
+    "chaos_matrix"
+    if ROWS_VALUES == (8, 16)
+    else "chaos_matrix_" + "_".join(f"{rows}x{rows}" for rows in ROWS_VALUES)
+)
+
+
+def test_chaos_matrix(benchmark):
+    start = time.perf_counter()
+    points = run_once(
+        benchmark,
+        run_chaos_matrix,
+        rows_values=ROWS_VALUES,
+        fault_scenarios=FAULT_SCENARIOS,
+    )
+    wall_clock = time.perf_counter() - start
+
+    rows = [point.as_dict() for point in points]
+    scenarios = "\n".join(
+        f"{point.rows}x{point.rows} {point.attack} + {point.scenario}: "
+        f"{point.description}"
+        for point in points
+        if point.scenario != "none"
+    )
+    summary = (
+        f"\npolicy: {DEFAULT_ROBUSTNESS_POLICY.name} + evidence fusion + "
+        "degraded-mode guard (DegradedModeConfig defaults)\n"
+        f"fault scenarios: {', '.join(FAULT_SCENARIOS)}\n" + scenarios +
+        f"\n(REPRO_SIM_BACKEND={os.environ.get('REPRO_SIM_BACKEND', 'soa')}) "
+        f"end-to-end wall-clock: {wall_clock:8.1f} s"
+    )
+    write_result(RESULT_NAME, format_rows(rows) + summary)
+    write_json_result(
+        RESULT_NAME,
+        {
+            "rows_values": list(ROWS_VALUES),
+            "fault_scenarios": list(FAULT_SCENARIOS),
+            "policy": DEFAULT_ROBUSTNESS_POLICY.name,
+            "wall_clock_seconds": wall_clock,
+            "points": rows,
+        },
+    )
+
+    fault_free = {
+        (point.attack, point.rows): point
+        for point in points
+        if point.scenario == "none"
+    }
+    for point in points:
+        where = f"{point.attack} + {point.scenario} at {point.rows}x{point.rows}"
+        # Containment must survive every fault scenario.
+        assert point.detected, f"{where}: undetected"
+        assert point.contained, (
+            f"{where}: uncontained — fenced {point.attackers_fenced}/"
+            f"{point.num_attackers}, collateral {point.collateral_nodes}"
+        )
+        assert point.attackers_fenced == point.num_attackers
+        # A faulty node is never a fence target.
+        assert point.fault_node_engagements == 0, (
+            f"{where}: engaged a fault-only node"
+        )
+        assert point.fault_node_convictions == 0, (
+            f"{where}: convicted a fault-only node"
+        )
+        # Faults may cost at most one sampling window of detection latency.
+        reference = fault_free[(point.attack, point.rows)]
+        assert point.detection_latency is not None
+        assert reference.detection_latency is not None
+        assert (
+            point.detection_latency
+            <= reference.detection_latency + point.sample_period
+        ), (
+            f"{where}: detection latency {point.detection_latency} vs "
+            f"fault-free {reference.detection_latency} "
+            f"(period {point.sample_period})"
+        )

@@ -1,0 +1,207 @@
+"""Degraded-mode window sanitisation: self-healing telemetry for the guard.
+
+The guard's detection/localization pipeline implicitly trusts every monitor
+window.  :class:`WindowSanitizer` removes that assumption: before a window
+reaches the pipeline it is scrubbed against the fault signatures of
+:mod:`repro.faults.monitor` —
+
+* **declared-silent nodes** — the collection layer annotates windows with
+  nodes whose monitor stopped reporting (``metadata["unobservable_nodes"]``,
+  a missing report being locally detectable); their zeroed cells are taken
+  at face value and the node is marked unobservable;
+* **stuck counters** — a node whose *entire* 8-cell signature (VCO + BOC,
+  four directions) is bit-identical across ``stuck_after`` consecutive
+  delivered windows while non-zero is declared stuck: its cells are masked
+  to zero and the node marked unobservable.  The raw stream keeps being
+  watched, so the moment real values flow again the node heals and rejoins
+  the observable set;
+* **implausible cells** — VCO is a ratio in [0, 1] and BOC is bounded by
+  buffer operations per sampling window, so any cell beyond those physical
+  ceilings (times ``ceiling_slack``) is corruption, not congestion; the
+  cell is imputed from the previous sanitized window (0 when there is
+  none).  Clamping is *physics*-based rather than history-based on purpose:
+  a genuine flood can legitimately multiply a cell between two windows, and
+  must never be clamped away.
+
+The sanitizer returns a :class:`WindowHealth` next to the scrubbed sample;
+the guard folds ``health.unobservable`` into its hard invariant — a node
+that is currently unobservable contributes no evidence, accrues no flag
+streak, and is never newly fenced ("no conviction without fresh affirmative
+evidence": merely-silent or stuck nodes stay free).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.base import clone_sample, node_port_cells
+from repro.faults.monitor import UNOBSERVABLE_KEY
+from repro.monitor.features import FeatureKind
+from repro.monitor.frames import FrameSample
+from repro.noc.topology import Direction, MeshTopology
+
+__all__ = ["DegradedModeConfig", "WindowHealth", "WindowSanitizer"]
+
+
+@dataclass(frozen=True)
+class DegradedModeConfig:
+    """Knobs of the guard's degraded-mode window sanitisation."""
+
+    #: Consecutive delivered windows a node's full 8-cell signature must
+    #: repeat bit-identically (while non-zero) before it is declared stuck.
+    stuck_after: int = 3
+    #: Physical ceiling of a VCO cell (occupied / total VCs — a ratio).
+    vco_ceiling: float = 1.0
+    #: Buffer operations per cycle per port upper bound; the BOC ceiling of
+    #: a window is this rate times the sampling period.
+    boc_rate_ceiling: float = 4.0
+    #: Multiplier on the ceilings before a cell is ruled implausible.
+    ceiling_slack: float = 1.5
+    #: Windows of capture-clock lag (relative to the simulator clock) a
+    #: window may carry before the guard treats it as stale; stale windows
+    #: still deliver evidence and may engage, but never drive release
+    #: probes — a burst of delayed windows describes the past, and lifting
+    #: a fence on past cleanliness hands a current attacker its bandwidth
+    #: back.
+    stale_window_tolerance: int = 1
+    #: Cap on the extra evidence-decay steps charged for one delivery gap
+    #: (missed windows cool suspicion like observed-clean windows would,
+    #: but a pathological outage must not zero the accumulator in one hit).
+    max_gap_decay: int = 8
+
+    def __post_init__(self) -> None:
+        if self.stuck_after < 2:
+            raise ValueError("stuck_after must be >= 2")
+        if self.vco_ceiling <= 0.0:
+            raise ValueError("vco_ceiling must be positive")
+        if self.boc_rate_ceiling <= 0.0:
+            raise ValueError("boc_rate_ceiling must be positive")
+        if self.ceiling_slack < 1.0:
+            raise ValueError("ceiling_slack must be >= 1.0")
+        if self.stale_window_tolerance < 0:
+            raise ValueError("stale_window_tolerance must be >= 0")
+        if self.max_gap_decay < 0:
+            raise ValueError("max_gap_decay must be >= 0")
+
+
+@dataclass
+class WindowHealth:
+    """What the sanitizer found (and fixed) in one delivered window."""
+
+    #: Nodes the collection layer itself declared unobservable.
+    declared_silent: frozenset
+    #: Nodes currently held stuck by the signature detector.
+    stuck: frozenset
+    #: Cells imputed by the plausibility clamp this window.
+    imputed_cells: int
+
+    @property
+    def unobservable(self) -> frozenset:
+        """Nodes with no trustworthy telemetry this window."""
+        return self.declared_silent | self.stuck
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.unobservable) or self.imputed_cells > 0
+
+
+class WindowSanitizer:
+    """Stateful per-episode scrubber for the guard's window stream."""
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        config: DegradedModeConfig | None = None,
+        sample_period: int | None = None,
+    ) -> None:
+        self.topology = topology
+        self.config = config or DegradedModeConfig()
+        self.sample_period = sample_period
+        self._cells = [
+            node_port_cells(topology, node) for node in range(topology.num_nodes)
+        ]
+        self._streaks = np.zeros(topology.num_nodes, dtype=np.int64)
+        self._stuck: set[int] = set()
+        #: Previous delivered raw (clamped, unmasked) signature per node.
+        self._previous: list[tuple | None] = [None] * topology.num_nodes
+        #: Previous sanitized frames, for corrupted-cell imputation.
+        self._last_frames: dict[tuple, np.ndarray] = {}
+
+    # -- plausibility --------------------------------------------------------
+    def _ceiling(self, kind: FeatureKind) -> float:
+        if kind is FeatureKind.VCO:
+            return self.config.vco_ceiling * self.config.ceiling_slack
+        period = self.sample_period or 0
+        if period <= 0:
+            return float("inf")
+        return self.config.boc_rate_ceiling * period * self.config.ceiling_slack
+
+    # -- the scrub -----------------------------------------------------------
+    def sanitize(self, sample: FrameSample) -> tuple[FrameSample, WindowHealth]:
+        """Scrub one delivered window; returns (clean sample, health)."""
+        declared = frozenset(
+            int(node) for node in sample.metadata.get(UNOBSERVABLE_KEY, ())
+        )
+        sample = clone_sample(sample)
+        imputed = 0
+        for frame_set in (sample.vco, sample.boc):
+            ceiling = self._ceiling(frame_set.kind)
+            if not np.isfinite(ceiling):
+                continue
+            for direction in Direction.cardinal():
+                values = frame_set.frames[direction].values
+                mask = values > ceiling
+                if not mask.any():
+                    continue
+                previous = self._last_frames.get((frame_set.kind, direction))
+                values[mask] = previous[mask] if previous is not None else 0.0
+                imputed += int(mask.sum())
+
+        # Stuck-signature detection on the clamped (pre-mask) values: the
+        # raw stream keeps being compared even while a node is held stuck,
+        # which is what lets a healed counter rejoin the observable set.
+        for node in range(self.topology.num_nodes):
+            signature = tuple(
+                float(
+                    (sample.vco if kind is FeatureKind.VCO else sample.boc)
+                    .frames[direction]
+                    .values[row, col]
+                )
+                for direction, row, col in self._cells[node]
+                for kind in (FeatureKind.VCO, FeatureKind.BOC)
+            )
+            previous = self._previous[node]
+            self._previous[node] = signature
+            if (
+                previous is not None
+                and signature == previous
+                and any(value != 0.0 for value in signature)
+            ):
+                self._streaks[node] += 1
+            else:
+                self._streaks[node] = 0
+                self._stuck.discard(node)
+            if self._streaks[node] >= self.config.stuck_after - 1:
+                self._stuck.add(node)
+
+        # Mask the cells of every stuck node: frozen counters are noise the
+        # localizer must not see (and must not convict on).
+        for node in self._stuck:
+            for direction, row, col in self._cells[node]:
+                sample.vco.frames[direction].values[row, col] = 0.0
+                sample.boc.frames[direction].values[row, col] = 0.0
+
+        for frame_set in (sample.vco, sample.boc):
+            for direction in Direction.cardinal():
+                self._last_frames[(frame_set.kind, direction)] = (
+                    frame_set.frames[direction].values.copy()
+                )
+
+        health = WindowHealth(
+            declared_silent=declared,
+            stuck=frozenset(self._stuck),
+            imputed_cells=imputed,
+        )
+        return sample, health

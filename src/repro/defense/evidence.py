@@ -202,6 +202,26 @@ class EvidenceAccumulator:
             self._convicted.discard(node)
         return fresh
 
+    def decay_gap(self, steps: int) -> None:
+        """Extra decay for sampling windows lost in delivery.
+
+        A dropped monitor window is evidence of nothing: the accumulator
+        cools exactly as it would have over ``steps`` observed-but-empty
+        windows, and convictions whose score sinks below the release
+        threshold lapse.  This keeps suspicion half-life a function of
+        *time*, not of how many windows happened to survive a lossy
+        monitor channel.
+        """
+        if steps <= 0:
+            return
+        self.suspicion *= self.config.decay**steps
+        for node in [
+            n
+            for n in self._convicted
+            if self.suspicion[n] < self.config.release_threshold
+        ]:
+            self._convicted.discard(node)
+
     def reset_node(self, node: int) -> None:
         """Clear a node's evidence (called when the guard releases its fence).
 

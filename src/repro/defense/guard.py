@@ -37,12 +37,14 @@ an over-approximated localization superset.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.pipeline import DL2Fence
+from repro.defense.degraded import DegradedModeConfig, WindowSanitizer
 from repro.defense.evidence import EvidenceAccumulator, EvidenceConfig
 from repro.defense.policy import MitigationPolicy
 from repro.defense.report import DefenseEvent, DefenseReport, WindowRecord
@@ -51,6 +53,18 @@ from repro.monitor.sampler import GlobalPerformanceMonitor, MonitorConfig
 from repro.noc.simulator import NoCSimulator
 
 __all__ = ["DL2FenceGuard"]
+
+
+@dataclass(frozen=True)
+class _WindowStats:
+    """Per-window delivery measurements, split at the containment epoch."""
+
+    latency: float
+    benign_delivered: int
+    malicious_delivered: int
+    fresh_latency: float
+    fresh_delivered: int
+    backlog_delivered: int
 
 
 @dataclass
@@ -75,6 +89,7 @@ class DL2FenceGuard:
         true_attackers: tuple[int, ...] = (),
         force_localization: bool = False,
         evidence: EvidenceConfig | bool = True,
+        degraded: DegradedModeConfig | bool = True,
     ) -> None:
         """``attack_start``, ``attack_end`` and ``true_attackers`` are
         optional ground truth used only for evaluation metrics (detection
@@ -85,13 +100,25 @@ class DL2FenceGuard:
         guard consults alongside the per-window Table-Like Method (see
         :mod:`repro.defense.evidence`): ``True`` (the default) uses
         :class:`EvidenceConfig` defaults, an explicit config tunes it, and
-        ``False`` restores pure single-window localization."""
+        ``False`` restores pure single-window localization.
+
+        ``degraded`` configures degraded-mode operation against faulty
+        telemetry (see :mod:`repro.defense.degraded`): windows are scrubbed
+        through a :class:`WindowSanitizer`, delivery gaps charge extra
+        evidence decay, stale (delayed) windows never drive release probes,
+        and nodes with no trustworthy telemetry — declared-silent or
+        stuck-counter — are excluded from evidence, flag streaks and new
+        engagements.  On a healthy stream the whole machinery is a no-op,
+        which is why it defaults on; ``False`` disables it."""
         self.fence = fence
         self.policy = policy or MitigationPolicy()
         self.force_localization = force_localization
         if evidence is True:
             evidence = EvidenceConfig()
         self.evidence_config: EvidenceConfig | None = evidence or None
+        if degraded is True:
+            degraded = DegradedModeConfig()
+        self.degraded_config: DegradedModeConfig | None = degraded or None
         # Built lazily on the first window (the scripted test harness wires
         # a guard to a simulator without attach(), so the mesh size is only
         # reliably known once a sample arrives).
@@ -121,6 +148,14 @@ class DL2FenceGuard:
         self._consecutive_clean = 0
         self._delivered_index = 0
         self._window_index = 0
+        # Degraded-mode state: the sanitizer is built lazily (mesh size is
+        # only known once a sample arrives), the last-window cycle detects
+        # delivery gaps, and the containment epoch anchors the drain-aware
+        # fresh/backlog split of the latency accounting.
+        self._sanitizer: WindowSanitizer | None = None
+        self._last_window_cycle: int | None = None
+        self._containment_epoch: int | None = None
+        self._last_probe_window: int | None = None
 
     # -- wiring ------------------------------------------------------------
     def attach(
@@ -174,10 +209,42 @@ class DL2FenceGuard:
         probing the hysteresis machinery schedules.
         """
         engaged_at_start = bool(self._engaged)
+        period = self.report.sample_period
+
+        # -- degraded-mode preprocessing ----------------------------------
+        # Scrub the window against fault signatures (stuck counters,
+        # implausible cells, declared-silent nodes).  Scripted harnesses
+        # push frame-less stub samples; those bypass sanitisation.
+        unobservable: frozenset[int] = frozenset()
+        if self.degraded_config is not None and getattr(sample, "vco", None) is not None:
+            if self._sanitizer is None:
+                self._sanitizer = WindowSanitizer(
+                    simulator.topology,
+                    self.degraded_config,
+                    sample_period=period or None,
+                )
+            sample, health = self._sanitizer.sanitize(sample)
+            unobservable = health.unobservable
+        # Delivery-gap and clock-staleness bookkeeping.  A gap (dropped
+        # windows) charges the evidence accumulator the decay it missed; a
+        # stale capture clock (delayed windows arriving in a burst) blocks
+        # release decisions below — stale windows testify about the past,
+        # and fences are only lifted on *current* cleanliness.
+        missed_windows = 0
+        if period > 0 and self._last_window_cycle is not None:
+            elapsed = int(round((sample.cycle - self._last_window_cycle) / period))
+            missed_windows = max(0, elapsed - 1)
+        if self._last_window_cycle is None or sample.cycle > self._last_window_cycle:
+            self._last_window_cycle = sample.cycle
+        fresh_clock = True
+        if period > 0 and self.degraded_config is not None:
+            lag = simulator.cycle - sample.cycle
+            fresh_clock = lag <= self.degraded_config.stale_window_tolerance * period
+
         result = self.fence.process_sample(
             sample, force_localization=self.force_localization
         )
-        latency, benign_count, malicious_count = self._window_latency(simulator)
+        window_stats = self._window_latency(simulator)
 
         convicted: list[int] = []
         if self.evidence_config is not None:
@@ -185,6 +252,13 @@ class DL2FenceGuard:
                 self.evidence = EvidenceAccumulator(
                     simulator.topology.num_nodes, self.evidence_config
                 )
+            if missed_windows:
+                cap = (
+                    self.degraded_config.max_gap_decay
+                    if self.degraded_config is not None
+                    else 8
+                )
+                self.evidence.decay_gap(min(missed_windows, cap))
             weight = self.evidence.window_weight(
                 result.detected,
                 result.detection_probability,
@@ -203,7 +277,18 @@ class DL2FenceGuard:
                     force_localization=True,
                     detection=(result.detected, result.detection_probability),
                 )
-            fresh = self.evidence.observe(result, weight)
+            observed = result
+            if unobservable:
+                # Hard invariant: a node with no trustworthy telemetry this
+                # window contributes no affirmative evidence — a merely
+                # silent or stuck node can decay out of suspicion but never
+                # accrue into it.
+                observed = dataclasses.replace(
+                    result,
+                    attackers=[n for n in result.attackers if n not in unobservable],
+                    frontier=[n for n in result.frontier if n not in unobservable],
+                )
+            fresh = self.evidence.observe(observed, weight)
             if fresh:
                 self.report.events.append(
                     DefenseEvent(
@@ -216,9 +301,10 @@ class DL2FenceGuard:
             convicted = self.evidence.convicted_nodes()
 
         acted = result.detected or any(
-            node not in self._engaged for node in convicted
+            node not in self._engaged and node not in unobservable
+            for node in convicted
         )
-        flagged = sorted(set(result.attackers).union(convicted))
+        flagged = sorted(set(result.attackers).union(convicted) - unobservable)
 
         if acted:
             if self._consecutive_detections == 0:
@@ -242,8 +328,10 @@ class DL2FenceGuard:
 
         if acted:
             self._engage_flagged(flagged, sample.cycle, simulator)
-            self._rollback_stale(set(flagged), sample.cycle, simulator)
-        elif self._engaged:
+            self._rollback_stale(
+                set(flagged), sample.cycle, simulator, fresh_clock=fresh_clock
+            )
+        elif self._engaged and fresh_clock:
             self._release_ready(sample.cycle, simulator)
 
         if engaged_at_start:
@@ -262,10 +350,14 @@ class DL2FenceGuard:
                 victims=tuple(result.victims),
                 attackers=tuple(result.attackers),
                 restricted=tuple(sorted(self._engaged)),
-                benign_latency=latency,
-                benign_delivered=benign_count,
-                malicious_delivered=malicious_count,
+                benign_latency=window_stats.latency,
+                benign_delivered=window_stats.benign_delivered,
+                malicious_delivered=window_stats.malicious_delivered,
                 suspected=tuple(convicted),
+                unobservable=tuple(sorted(unobservable)),
+                benign_fresh_latency=window_stats.fresh_latency,
+                benign_fresh_delivered=window_stats.fresh_delivered,
+                benign_backlog_delivered=window_stats.backlog_delivered,
             )
         )
         self._window_index += 1
@@ -314,6 +406,12 @@ class DL2FenceGuard:
             )
             newly_engaged.append(node)
         if newly_engaged:
+            if self._containment_epoch is None:
+                # Anchor of the drain-aware latency split: benign packets
+                # created before this cycle experienced the unmitigated
+                # attack and drain as backlog; packets created after it
+                # measure the fenced network itself.
+                self._containment_epoch = cycle
             self._round += 1
             # A new localization round just opened: the attack is still
             # surfacing attackers, and a fenced attacker is indistinguishable
@@ -335,19 +433,27 @@ class DL2FenceGuard:
             )
 
     def _rollback_stale(
-        self, flagged: set[int], cycle: int, simulator: NoCSimulator
+        self,
+        flagged: set[int],
+        cycle: int,
+        simulator: NoCSimulator,
+        fresh_clock: bool = True,
     ) -> None:
         """Release engaged nodes the localizer has stopped flagging.
 
         The per-node threshold grows with the node's engagement count: a
         fenced attacker looks exactly like a false positive (no congestion
         evidence), so a node that already bounced through a release probe is
-        held longer before the next one.
+        held longer before the next one.  Stale-clocked windows (delayed
+        delivery) re-flag as usual but never advance the rollback clocks:
+        releases are only earned on current observations.
         """
         rolled_back = []
         for node, state in list(self._engaged.items()):
             if node in flagged:
                 state.windows_since_flagged = 0
+                continue
+            if not fresh_clock:
                 continue
             state.windows_since_flagged += 1
             threshold = self.policy.stale_threshold(self._engage_counts.get(node, 1))
@@ -376,31 +482,50 @@ class DL2FenceGuard:
                 )
 
     def _release_ready(self, cycle: int, simulator: NoCSimulator) -> None:
-        """Release engaged nodes whose clean-window hold has expired.
+        """Release ONE engaged node whose clean-window hold has expired.
 
         Per-node release state: each node's required clean streak is scaled
         by the policy's re-engage backoff, so first offenders release after
         ``release_after`` clean windows exactly as before, while oscillating
         nodes wait exponentially longer.
+
+        Releases are **staggered, one fence at a time**: a quarantined
+        attacker leaves no evidence, so every release is a probe, and
+        releasing all ready nodes at once would restart a distributed flood
+        in a single window and forfeit containment.  The least re-engaged
+        node goes first (most likely an innocent), and the policy's
+        ``release_probe_spacing`` leaves clean windows between consecutive
+        probes so a released attacker's congestion has time to rebuild and
+        break the streak before the next fence lifts.
         """
-        released = [
+        ready = [
             node
             for node in sorted(self._engaged)
             if self._consecutive_clean
             >= self.policy.release_threshold(self._engage_counts.get(node, 1))
         ]
-        if not released:
+        if not ready:
             return
-        for node in released:
-            self._release_node(node, simulator)
+        if (
+            self._last_probe_window is not None
+            and self._window_index - self._last_probe_window
+            < self.policy.release_probe_spacing
+        ):
+            return
+        probe = min(ready, key=lambda node: (self._engage_counts.get(node, 1), node))
+        self._release_node(probe, simulator)
+        self._last_probe_window = self._window_index
         if not self._engaged:
             self._flag_streaks.clear()
+        detail = f"{self._consecutive_clean} clean windows"
+        if self._engaged:
+            detail += f"; staggered probe, {len(self._engaged)} still fenced"
         self.report.events.append(
             DefenseEvent(
                 cycle=cycle,
                 kind="released",
-                nodes=tuple(released),
-                detail=f"{self._consecutive_clean} clean windows",
+                nodes=(probe,),
+                detail=detail,
             )
         )
 
@@ -420,17 +545,43 @@ class DL2FenceGuard:
             # fenced would otherwise pour out the moment the limit lifts.
             simulator.network.flush_source_queue(node)
         simulator.throttle_node(node, state.previous_limit)
+        if not self._engaged:
+            self._containment_epoch = None
 
     # -- measurement ----------------------------------------------------------
-    def _window_latency(self, simulator: NoCSimulator) -> tuple[float, int, int]:
-        """Mean benign latency and delivery counts since the last window."""
+    def _window_latency(self, simulator: NoCSimulator) -> "_WindowStats":
+        """Benign latency and delivery counts since the last window.
+
+        Alongside the plain benign mean, delivered benign packets are split
+        at the containment epoch (the first engagement of the current
+        episode) into **backlog** — created before the fence went up, so
+        their latency is attack damage draining out — and **fresh** —
+        created under the fence, measuring the quality of the fenced
+        network itself.  Before any engagement everything counts as fresh.
+        """
         delivered = simulator.stats.delivered
         new = delivered[self._delivered_index :]
         self._delivered_index = len(delivered)
-        benign = [p.total_latency() for p in new if not p.is_malicious]
+        benign = [p for p in new if not p.is_malicious]
         malicious_count = len(new) - len(benign)
-        mean = float(np.mean(benign)) if benign else math.nan
-        return mean, len(benign), malicious_count
+        latencies = [p.total_latency() for p in benign]
+        mean = float(np.mean(latencies)) if latencies else math.nan
+        epoch = self._containment_epoch
+        if epoch is None:
+            fresh_latencies = latencies
+        else:
+            fresh_latencies = [
+                p.total_latency() for p in benign if p.created_cycle >= epoch
+            ]
+        fresh_mean = float(np.mean(fresh_latencies)) if fresh_latencies else math.nan
+        return _WindowStats(
+            latency=mean,
+            benign_delivered=len(benign),
+            malicious_delivered=malicious_count,
+            fresh_latency=fresh_mean,
+            fresh_delivered=len(fresh_latencies),
+            backlog_delivered=len(benign) - len(fresh_latencies),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

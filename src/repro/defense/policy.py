@@ -77,6 +77,15 @@ class MitigationPolicy:
         Guards against an over-approximated localization superset; the guard
         engages the most persistently flagged candidates first and leaves
         the rest for the next sampling round.
+    release_probe_spacing:
+        Minimum clean windows between two staggered release probes.  Clean
+        windows release **one** fenced node at a time (a quarantined
+        attacker leaves no evidence, so every release is a probe — and a
+        mass release of colluding sources would restart the whole flood at
+        once); this spacing additionally leaves room for a released
+        attacker's congestion to rebuild and break the clean streak before
+        the next node is probed.  ``1`` releases on every qualifying clean
+        window.
     """
 
     action: str = "throttle"
@@ -87,6 +96,7 @@ class MitigationPolicy:
     flush_queue: bool = False
     reengage_backoff: float = 2.0
     max_engaged_nodes: int | None = None
+    release_probe_spacing: int = 1
 
     def __post_init__(self) -> None:
         if self.action not in _ACTIONS:
@@ -103,6 +113,8 @@ class MitigationPolicy:
             raise ValueError("reengage_backoff must be >= 1.0")
         if self.max_engaged_nodes is not None and self.max_engaged_nodes < 1:
             raise ValueError("max_engaged_nodes must be >= 1 (or None)")
+        if self.release_probe_spacing < 1:
+            raise ValueError("release_probe_spacing must be >= 1")
 
     # -- hysteresis thresholds ----------------------------------------------
     def release_threshold(self, engagements: int) -> int:

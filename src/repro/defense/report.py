@@ -68,6 +68,17 @@ class WindowRecord:
     #: Nodes the cross-window evidence accumulator held convicted this
     #: window (empty when the guard runs with evidence fusion disabled).
     suspected: tuple[int, ...] = ()
+    #: Nodes with no trustworthy telemetry this window (declared-silent or
+    #: stuck-counter; empty on a healthy stream or with degraded mode off).
+    unobservable: tuple[int, ...] = ()
+    #: Drain-aware split of the benign deliveries: *fresh* packets were
+    #: created after the containment epoch (first engagement of the current
+    #: episode) and measure the fenced network; *backlog* packets were
+    #: created before it and merely drain attack damage.  Before any
+    #: engagement every delivery is fresh.
+    benign_fresh_latency: float = math.nan
+    benign_fresh_delivered: int = 0
+    benign_backlog_delivered: int = 0
 
 
 @dataclass
@@ -320,6 +331,48 @@ class DefenseReport:
             return math.nan
         return post / baseline_latency
 
+    # -- drain-aware recovery --------------------------------------------------
+    @staticmethod
+    def _weighted_fresh_latency(windows: list[WindowRecord]) -> float:
+        """Delivery-weighted mean over the *fresh* (post-epoch) deliveries."""
+        total = 0.0
+        count = 0
+        for window in windows:
+            if window.benign_fresh_delivered and not math.isnan(
+                window.benign_fresh_latency
+            ):
+                total += window.benign_fresh_latency * window.benign_fresh_delivered
+                count += window.benign_fresh_delivered
+        return total / count if count else math.nan
+
+    def post_mitigation_fresh_latency(self, skip: int = 1) -> float:
+        """Benign latency of packets *created under the fence*.
+
+        The plain post-mitigation figure mixes two populations: packets
+        created during the unmitigated attack (whose latency is attack
+        damage draining out of saturated queues) and packets created after
+        containment (which measure the fenced network itself).  This metric
+        keeps only the second population, so fence quality is separable
+        from backlog drain — the colluding 8x8 episode's ~8x plain recovery
+        ratio, for instance, is almost entirely drain.
+        """
+        windows = self.phase_windows("mitigated")[skip:]
+        if self.attack_end is not None:
+            windows = [w for w in windows if w.cycle <= self.attack_end]
+        return self._weighted_fresh_latency(windows)
+
+    def fresh_recovery_ratio(self, baseline_latency: float, skip: int = 1) -> float:
+        """Drain-corrected recovery: fenced-traffic latency over the baseline."""
+        post = self.post_mitigation_fresh_latency(skip=skip)
+        if math.isnan(post) or baseline_latency <= 0.0:
+            return math.nan
+        return post / baseline_latency
+
+    @property
+    def backlog_drained(self) -> int:
+        """Total benign packets delivered out of the pre-containment backlog."""
+        return sum(window.benign_backlog_delivered for window in self.windows)
+
     # -- rendering ------------------------------------------------------------
     def summary(self) -> dict:
         """Headline metrics as a plain dict (for tables and logs)."""
@@ -338,6 +391,8 @@ class DefenseReport:
             "pre_attack_latency": self.pre_attack_latency(),
             "attack_latency": self.attack_latency(),
             "post_mitigation_latency": self.post_mitigation_latency(),
+            "post_mitigation_fresh_latency": self.post_mitigation_fresh_latency(),
+            "backlog_drained": self.backlog_drained,
             "engaged_nodes": sorted(self.engaged_nodes),
             "collateral_nodes": sorted(self.collateral_nodes),
             "collateral_node_windows": self.collateral_node_windows,
@@ -366,6 +421,7 @@ class DefenseReport:
                 "flush_queue": self.policy.flush_queue,
                 "reengage_backoff": self.policy.reengage_backoff,
                 "max_engaged_nodes": self.policy.max_engaged_nodes,
+                "release_probe_spacing": self.policy.release_probe_spacing,
             },
             "sample_period": self.sample_period,
             "attack_start": self.attack_start,
@@ -385,6 +441,10 @@ class DefenseReport:
                     "benign_delivered": w.benign_delivered,
                     "malicious_delivered": w.malicious_delivered,
                     "suspected": list(w.suspected),
+                    "unobservable": list(w.unobservable),
+                    "benign_fresh_latency": scrub(w.benign_fresh_latency),
+                    "benign_fresh_delivered": w.benign_fresh_delivered,
+                    "benign_backlog_delivered": w.benign_backlog_delivered,
                 }
                 for w in self.windows
             ],
@@ -439,6 +499,7 @@ class DefenseReport:
                     "attackers": tuple(window["attackers"]),
                     "restricted": tuple(window["restricted"]),
                     "suspected": tuple(window.get("suspected", ())),
+                    "unobservable": tuple(window.get("unobservable", ())),
                 }
             )
             for window in data["windows"]

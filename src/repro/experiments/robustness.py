@@ -41,8 +41,10 @@ from repro.experiments.mitigation import (
     sweep_fence_key_payload,
     train_defense_pipeline,
 )
+from repro.faults import default_fault_suite
+from repro.faults.base import FaultScenario
 from repro.monitor.dataset import DatasetBuilder, DatasetConfig
-from repro.monitor.sampler import MonitorConfig
+from repro.monitor.sampler import GlobalPerformanceMonitor, MonitorConfig
 from repro.nn.dtype import default_dtype
 from repro.noc.simulator import NoCSimulator
 from repro.noc.stats import LatencyStats
@@ -50,9 +52,11 @@ from repro.runtime.engine import ExperimentEngine
 
 __all__ = [
     "DEFAULT_ROBUSTNESS_POLICY",
+    "ChaosPoint",
     "RobustnessPoint",
     "run_attack_episode",
     "unmitigated_attack_episode_latency",
+    "run_chaos_matrix",
     "run_robustness_matrix",
 ]
 
@@ -139,6 +143,83 @@ class RobustnessPoint:
         return cls(**data)
 
 
+@dataclass
+class ChaosPoint:
+    """Outcome of one defended episode under one monitor-fault scenario.
+
+    The chaos matrix adds a fault axis to the robustness matrix and asks a
+    sharper question than "was the attack contained": it also demands that
+    *no fault-only node was ever punished* — a silent or stuck monitor is a
+    hardware problem, and fencing its node would convert a telemetry fault
+    into a self-inflicted denial of service.
+    """
+
+    attack: str
+    rows: int
+    scenario: str
+    policy: str
+    #: Nodes the fault scenario touches (never legitimate fence targets).
+    fault_nodes: tuple[int, ...]
+    detected: bool
+    detection_latency: int | None
+    time_to_mitigation: int | None
+    time_to_full_containment: int | None
+    num_attackers: int
+    attackers_fenced: int
+    contained: bool
+    collateral_nodes: tuple[int, ...]
+    collateral_node_windows: int
+    #: Engagement / conviction events naming a fault-only node (must be 0).
+    fault_node_engagements: int
+    fault_node_convictions: int
+    #: Windows the guard actually received (drops shrink it, delays do not).
+    windows_delivered: int
+    localization_rounds: int
+    reengagements: int
+    baseline_latency: float
+    attack_latency: float
+    mitigated_latency: float
+    fresh_mitigated_latency: float
+    recovery_ratio: float
+    fresh_recovery_ratio: float
+    sample_period: int
+    benchmark: str = "uniform_random"
+    description: str = ""
+
+    def as_dict(self) -> dict:
+        """Table-friendly row (see :func:`repro.experiments.tables.format_rows`)."""
+        return {
+            "attack": self.attack,
+            "rows": self.rows,
+            "scenario": self.scenario,
+            "detected": self.detected,
+            "detection_latency": self.detection_latency,
+            "containment": self.time_to_full_containment,
+            "attackers": self.num_attackers,
+            "fenced": self.attackers_fenced,
+            "contained": self.contained,
+            "collateral": len(self.collateral_nodes),
+            "fault_nodes": len(self.fault_nodes),
+            "fault_engaged": self.fault_node_engagements,
+            "fault_convicted": self.fault_node_convictions,
+            "windows": self.windows_delivered,
+            "reengage": self.reengagements,
+            "recovery_ratio": self.recovery_ratio,
+            "fresh_recovery": self.fresh_recovery_ratio,
+        }
+
+    # -- lossless round-trip (artifact cache) -------------------------------
+    def to_payload(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_payload(cls, data: dict) -> "ChaosPoint":
+        data = dict(data)
+        data["collateral_nodes"] = tuple(int(n) for n in data["collateral_nodes"])
+        data["fault_nodes"] = tuple(int(n) for n in data["fault_nodes"])
+        return cls(**data)
+
+
 def _attacked_simulator(
     builder: DatasetBuilder,
     benchmark: str,
@@ -173,12 +254,21 @@ def run_attack_episode(
     post_attack_windows: int = 4,
     seed: int = 42,
     evidence: EvidenceConfig | bool = True,
+    faults: FaultScenario | None = None,
+    degraded: bool = True,
 ) -> DefenseReport:
     """One guarded episode of ``model`` over a benign workload.
 
     ``true_attackers`` of the report is the model's ``containment_nodes``
     set, so ``time_to_full_containment`` demands every position of a
     migrating attacker (and every colluding source) fenced at once.
+
+    ``faults`` installs a monitor-plane fault scenario between the sampler
+    and the guard: the simulated hardware is untouched, but the guard sees
+    the scenario's degraded window stream (dropped/delayed windows, silent
+    or stuck monitors, corrupted cells).  The fault plane is seeded with the
+    episode ``seed``, so a faulted episode is exactly as reproducible as a
+    clean one.  ``degraded`` toggles the guard's window sanitisation.
     """
     shape = EpisodeShape.from_windows(
         builder, pre_attack_windows, attack_windows, post_attack_windows
@@ -191,11 +281,15 @@ def run_attack_episode(
         attack_end=shape.attack_end,
         true_attackers=model.containment_nodes,
         evidence=evidence,
+        degraded=degraded,
     )
-    guard.attach(
-        simulator,
-        monitor_config=MonitorConfig(sample_period=builder.config.sample_period),
-    )
+    monitor_config = MonitorConfig(sample_period=builder.config.sample_period)
+    if faults is None:
+        guard.attach(simulator, monitor_config=monitor_config)
+    else:
+        monitor = GlobalPerformanceMonitor(monitor_config).attach(simulator)
+        monitor.set_fault_plane(faults.build_plane(builder.topology, seed=seed))
+        guard.attach(simulator, monitor=monitor)
     simulator.run(shape.total_cycles)
     return guard.report
 
@@ -239,6 +333,7 @@ class _RobustnessTask:
     policy: MitigationPolicy | None = None
     evidence: EvidenceConfig | bool = True
     fence: DL2Fence | None = None
+    faults: FaultScenario | None = None
 
 
 def _task_cache_payload(task: _RobustnessTask, fence_key: dict) -> tuple[str, dict]:
@@ -255,6 +350,9 @@ def _task_cache_payload(task: _RobustnessTask, fence_key: dict) -> tuple[str, di
     payload["policy"] = task.policy
     payload["evidence"] = task.evidence
     payload["fence"] = fence_key
+    if task.faults is not None:
+        payload["faults"] = task.faults
+        return "chaos-episode", payload
     return "robustness-episode", payload
 
 
@@ -276,6 +374,7 @@ def _run_robustness_task(task: _RobustnessTask):
         benchmark=task.benchmark,
         attack_windows=task.attack_windows,
         evidence=task.evidence,
+        faults=task.faults,
     )
 
 
@@ -498,6 +597,222 @@ def _compute_robustness_points(
                     recovery_ratio=report.recovery_ratio(mesh_baseline),
                     benchmark=benchmark,
                     description=model.describe(),
+                )
+            )
+    return points
+
+
+def run_chaos_matrix(
+    attacks: tuple[str, ...] | None = None,
+    rows_values: tuple[int, ...] = (8, 16),
+    fault_scenarios: tuple[str, ...] | None = None,
+    policy: MitigationPolicy = DEFAULT_ROBUSTNESS_POLICY,
+    config: ExperimentConfig | None = None,
+    benchmark: str = "uniform_random",
+    fir: float = 0.8,
+    colluding_fir: float = 0.2,
+    attack_windows: int = DEFAULT_ATTACK_WINDOWS,
+    training_benchmarks: tuple[str, ...] = ("uniform_random", "tornado"),
+    evidence: EvidenceConfig | bool = True,
+    engine: ExperimentEngine | None = None,
+) -> list[ChaosPoint]:
+    """Fault-augmented robustness matrix: attack × mesh × monitor-fault.
+
+    Every cell replays a defended refined-DoS episode with one scenario of
+    :func:`repro.faults.default_fault_suite` installed between the sampler
+    and the guard (the always-included ``"none"`` scenario is the fault-free
+    comparator).  The per-mesh pipeline training and its cache entry are
+    shared with :func:`run_robustness_matrix` — only the episodes are new.
+    """
+    attack_names = tuple(attacks) if attacks is not None else tuple(ATTACK_LIBRARY)
+    for name in attack_names:
+        if name not in ATTACK_LIBRARY:
+            raise KeyError(f"unknown attack variant {name!r}")
+    if evidence is True:
+        evidence = EvidenceConfig()
+    engine = engine or ExperimentEngine.from_environment()
+    experiments = {
+        rows: (
+            config.scaled(rows=rows)
+            if config is not None
+            else ExperimentConfig.for_mesh(rows)
+        )
+        for rows in rows_values
+    }
+    suites = {
+        rows: {
+            name: default_attack(
+                name,
+                experiment.dataset_config().topology(),
+                experiment.sample_period,
+                fir=fir,
+                colluding_fir=colluding_fir,
+            )
+            for name in attack_names
+        }
+        for rows, experiment in experiments.items()
+    }
+    # Fault scenarios are topology-dependent (the silent/stuck node picks
+    # depend on the mesh), so each mesh scale gets its own suite.
+    fault_suites = {
+        rows: default_fault_suite(experiment.dataset_config().topology())
+        for rows, experiment in experiments.items()
+    }
+    if fault_scenarios is None:
+        scenario_names = tuple(fault_suites[rows_values[0]])
+    else:
+        scenario_names = tuple(fault_scenarios)
+        for name in scenario_names:
+            if name not in fault_suites[rows_values[0]]:
+                raise KeyError(f"unknown fault scenario {name!r}")
+    payload = {
+        "attacks": attack_names,
+        "scenarios": scenario_names,
+        "suites": {str(rows): suites[rows] for rows in rows_values},
+        "fault_suites": {
+            str(rows): {name: fault_suites[rows][name] for name in scenario_names}
+            for rows in rows_values
+        },
+        "experiments": {str(rows): experiments[rows] for rows in rows_values},
+        "policy": policy,
+        "benchmark": benchmark,
+        "attack_windows": attack_windows,
+        "training_benchmarks": tuple(training_benchmarks),
+        "evidence": evidence,
+        "dtype": default_dtype(),
+    }
+    records = engine.cached_records(
+        "chaos-matrix",
+        payload,
+        lambda: [
+            point.to_payload()
+            for point in _compute_chaos_points(
+                attack_names,
+                scenario_names,
+                experiments,
+                suites,
+                fault_suites,
+                policy,
+                benchmark,
+                attack_windows,
+                tuple(training_benchmarks),
+                evidence,
+                engine,
+            )
+        ],
+    )
+    return [ChaosPoint.from_payload(record) for record in records]
+
+
+def _compute_chaos_points(
+    attack_names: tuple[str, ...],
+    scenario_names: tuple[str, ...],
+    experiments: dict[int, ExperimentConfig],
+    suites: dict[int, dict[str, AttackModel]],
+    fault_suites: dict[int, dict[str, FaultScenario]],
+    policy: MitigationPolicy,
+    benchmark: str,
+    attack_windows: int,
+    training_benchmarks: tuple[str, ...],
+    evidence: EvidenceConfig | bool,
+    engine: ExperimentEngine,
+) -> list[ChaosPoint]:
+    """Cache-miss path: train per mesh, fan faulted episodes out, assemble."""
+    points: list[ChaosPoint] = []
+    for rows, experiment in experiments.items():
+        fence, builder = train_defense_pipeline(
+            experiment, benchmarks=training_benchmarks, engine=engine
+        )
+        mesh_baseline = baseline_benign_latency(
+            builder, benchmark=benchmark, attack_windows=attack_windows
+        )
+        suite = suites[rows]
+        fault_suite = fault_suites[rows]
+        grid = [
+            (attack_name, scenario_name)
+            for attack_name in attack_names
+            for scenario_name in scenario_names
+        ]
+        tasks = [
+            _RobustnessTask(
+                kind="episode",
+                dataset_config=builder.config,
+                benchmark=benchmark,
+                model=suite[attack_name],
+                attack_windows=attack_windows,
+                policy=policy,
+                evidence=evidence,
+                fence=fence,
+                faults=fault_suite[scenario_name],
+            )
+            for attack_name, scenario_name in grid
+        ]
+        fence_key = sweep_fence_key_payload(experiment, training_benchmarks)
+        cache_keys = [_task_cache_payload(task, fence_key) for task in tasks]
+        cached = [
+            _fetch_task_result(engine, kind, payload) for kind, payload in cache_keys
+        ]
+        missing = [index for index, value in enumerate(cached) if value is None]
+        fresh = engine.runner.map(
+            _run_robustness_task, [tasks[index] for index in missing]
+        )
+        for index, value in zip(missing, fresh):
+            cached[index] = value
+            kind, payload = cache_keys[index]
+            _store_task_result(engine, kind, payload, value)
+        for (attack_name, scenario_name), report in zip(grid, cached):
+            model = suite[attack_name]
+            scenario = fault_suite[scenario_name]
+            topology = builder.topology
+            fault_nodes = tuple(sorted(scenario.affected_nodes(topology)))
+            truth = set(model.containment_nodes)
+            # Count punishments of *fault-only* nodes: a node that is both
+            # faulty and a true attacker is a legitimate fence target.
+            fault_only = set(fault_nodes) - truth
+            contained = (
+                report.time_to_full_containment is not None
+                and not report.collateral_nodes
+            )
+            fault_engagements = sum(
+                sum(1 for node in event.nodes if node in fault_only)
+                for event in report.events
+                if event.kind == "engaged"
+            )
+            fault_convictions = sum(
+                sum(1 for node in event.nodes if node in fault_only)
+                for event in report.events
+                if event.kind == "convicted"
+            )
+            points.append(
+                ChaosPoint(
+                    attack=attack_name,
+                    rows=rows,
+                    scenario=scenario_name,
+                    policy=policy.name,
+                    fault_nodes=fault_nodes,
+                    detected=report.detection_latency is not None,
+                    detection_latency=report.detection_latency,
+                    time_to_mitigation=report.time_to_mitigation,
+                    time_to_full_containment=report.time_to_full_containment,
+                    num_attackers=len(truth),
+                    attackers_fenced=len(truth & report.engaged_nodes),
+                    contained=contained,
+                    collateral_nodes=tuple(sorted(report.collateral_nodes)),
+                    collateral_node_windows=report.collateral_node_windows,
+                    fault_node_engagements=fault_engagements,
+                    fault_node_convictions=fault_convictions,
+                    windows_delivered=len(report.windows),
+                    localization_rounds=report.localization_rounds,
+                    reengagements=report.reengagements,
+                    baseline_latency=mesh_baseline,
+                    attack_latency=report.attack_latency(),
+                    mitigated_latency=report.post_mitigation_latency(),
+                    fresh_mitigated_latency=report.post_mitigation_fresh_latency(),
+                    recovery_ratio=report.recovery_ratio(mesh_baseline),
+                    fresh_recovery_ratio=report.fresh_recovery_ratio(mesh_baseline),
+                    sample_period=builder.config.sample_period,
+                    benchmark=benchmark,
+                    description=f"{model.describe()} | faults: {scenario.describe()}",
                 )
             )
     return points

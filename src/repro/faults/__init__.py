@@ -1,0 +1,121 @@
+"""Deterministic, seeded fault-injection library.
+
+Mirrors :mod:`repro.attacks`: frozen, declarative, cache-hashable
+:class:`FaultModel` descriptions of infrastructure degradation, realised as
+monitor-plane injectors (:mod:`repro.faults.monitor`) slotted into the
+global performance monitor, and runtime-plane hooks
+(:mod:`repro.faults.runtime`) aimed at the parallel runner and the artifact
+cache.  :data:`FAULT_LIBRARY` registers every concrete model;
+:func:`default_fault_suite` builds the named :class:`FaultScenario` axis the
+chaos matrix sweeps (selectable at the bench level via ``REPRO_FAULTS``).
+"""
+
+from __future__ import annotations
+
+from repro.faults.base import (
+    FaultModel,
+    FaultPlane,
+    FaultScenario,
+    MonitorFaultInjector,
+    MonitorFaultModel,
+    clone_sample,
+    node_port_cells,
+)
+from repro.faults.monitor import (
+    UNOBSERVABLE_KEY,
+    CorruptedFrameFault,
+    DelayedWindowFault,
+    DroppedWindowFault,
+    SilentMonitorFault,
+    StuckCounterFault,
+)
+from repro.faults.runtime import (
+    CacheCorruptionFault,
+    InjectedWorkerCrash,
+    WorkerChaosFault,
+)
+from repro.noc.topology import MeshTopology
+
+__all__ = [
+    "FAULT_LIBRARY",
+    "FaultModel",
+    "FaultPlane",
+    "FaultScenario",
+    "MonitorFaultInjector",
+    "MonitorFaultModel",
+    "SilentMonitorFault",
+    "StuckCounterFault",
+    "DroppedWindowFault",
+    "DelayedWindowFault",
+    "CorruptedFrameFault",
+    "WorkerChaosFault",
+    "CacheCorruptionFault",
+    "InjectedWorkerCrash",
+    "UNOBSERVABLE_KEY",
+    "clone_sample",
+    "node_port_cells",
+    "default_fault_suite",
+    "silent_node_for",
+    "stuck_node_for",
+]
+
+#: Every concrete fault model, keyed by its registry name.
+FAULT_LIBRARY: dict[str, type[FaultModel]] = {
+    model.name: model
+    for model in (
+        SilentMonitorFault,
+        StuckCounterFault,
+        DroppedWindowFault,
+        DelayedWindowFault,
+        CorruptedFrameFault,
+        WorkerChaosFault,
+        CacheCorruptionFault,
+    )
+}
+
+
+def silent_node_for(topology: MeshTopology) -> int:
+    """Canonical silent-monitor placement for a mesh.
+
+    ``(2, 2)`` sits near — but never on — the canonical attack placements of
+    :func:`repro.attacks.default_attack` (victim ``(1, 1)``, colluding cross,
+    far-corner and migrating sources all avoid it at every supported scale),
+    so the chaos matrix measures a fault *adjacent to the action* without
+    ever overlapping a true attacker.  Small meshes fall back toward the
+    origin.
+    """
+    x = min(2, topology.columns - 1)
+    y = min(2, topology.rows - 1)
+    return topology.node_id(x, y)
+
+
+def stuck_node_for(topology: MeshTopology) -> int:
+    """Canonical stuck-counter placement: mid-west, off every attacker set."""
+    x = min(2, topology.columns - 1)
+    y = max(0, min(topology.rows - 3, topology.rows - 1))
+    return topology.node_id(x, y)
+
+
+def default_fault_suite(topology: MeshTopology) -> dict[str, FaultScenario]:
+    """The named fault scenarios of the chaos matrix's fault axis.
+
+    ``dropout_silent`` is the acceptance gate: >=10% monitor-window dropout
+    *plus* one silent monitor node, under which all five refined-DoS
+    variants must stay contained with zero fault-node convictions.
+    """
+    silent = SilentMonitorFault(node=silent_node_for(topology))
+    stuck = StuckCounterFault(node=stuck_node_for(topology))
+    dropout = DroppedWindowFault(probability=0.125, seed=7)
+    corrupt = CorruptedFrameFault(cell_probability=0.02, seed=11)
+    delay = DelayedWindowFault(probability=0.2, delay_windows=2, seed=13)
+    return {
+        "none": FaultScenario(name="none"),
+        "dropout": FaultScenario(name="dropout", monitor_faults=(dropout,)),
+        "silent": FaultScenario(name="silent", monitor_faults=(silent,)),
+        "dropout_silent": FaultScenario(
+            name="dropout_silent", monitor_faults=(dropout, silent)
+        ),
+        "stuck": FaultScenario(name="stuck", monitor_faults=(stuck,)),
+        "corrupt": FaultScenario(name="corrupt", monitor_faults=(corrupt,)),
+        "delay": FaultScenario(name="delay", monitor_faults=(delay,)),
+    }

@@ -1,0 +1,214 @@
+"""Common interface of the fault-injection library.
+
+The attack library (:mod:`repro.attacks`) describes *adversarial* scenarios;
+this package describes *infrastructure degradation* the same way: a
+:class:`FaultModel` is a frozen, declarative, cache-hashable description of
+one fault the system must survive.  Faults live on two planes:
+
+* **monitor-plane** faults corrupt the telemetry the defense consumes — a
+  silent monitor node, stuck-at counters, dropped or delayed sampling
+  windows, corrupted frame cells.  They are realised as
+  :class:`MonitorFaultInjector` transforms slotted into the
+  :class:`~repro.monitor.sampler.GlobalPerformanceMonitor` between frame
+  capture and listener dispatch, so both simulator backends (which produce
+  bit-identical pristine frames) observe bit-identical *faulted* streams;
+* **runtime-plane** faults break the experiment runtime itself — injected
+  worker crashes/hangs inside :class:`~repro.runtime.parallel.ParallelRunner`
+  and cache-entry corruption against
+  :class:`~repro.runtime.cache.ArtifactCache` (see
+  :mod:`repro.faults.runtime`).
+
+All randomness is seeded: a fault model holds only parameters (including its
+own ``seed`` field), and the injector built from it derives every draw from
+``(episode seed, model seed)`` — the same episode replays the same fault
+trace under any backend, worker count, or cache state.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.monitor.frames import DirectionalFrame, FrameSample, FrameSet
+from repro.noc.topology import MeshTopology
+
+__all__ = [
+    "FaultModel",
+    "MonitorFaultModel",
+    "MonitorFaultInjector",
+    "FaultPlane",
+    "FaultScenario",
+    "clone_sample",
+    "node_port_cells",
+]
+
+
+def node_port_cells(topology: MeshTopology, node: int):
+    """``(direction, row, col)`` of every directional-frame cell owned by ``node``.
+
+    The inverse of the frame geometry in :mod:`repro.monitor.features`: a
+    router's EAST input port exists for ``x < columns - 1`` at frame cell
+    ``(y, x)``, WEST for ``x >= 1`` at ``(y, x - 1)``, NORTH for
+    ``y < rows - 1`` at ``(y, x)`` and SOUTH for ``y >= 1`` at ``(y - 1, x)``.
+    """
+    from repro.noc.topology import Direction
+
+    x, y = topology.coordinates(node)
+    cells = []
+    if x < topology.columns - 1:
+        cells.append((Direction.EAST, y, x))
+    if x >= 1:
+        cells.append((Direction.WEST, y, x - 1))
+    if y < topology.rows - 1:
+        cells.append((Direction.NORTH, y, x))
+    if y >= 1:
+        cells.append((Direction.SOUTH, y - 1, x))
+    return cells
+
+
+def clone_sample(sample: FrameSample) -> FrameSample:
+    """Deep copy of a frame sample (faults never mutate the pristine capture)."""
+
+    def clone_set(frame_set: FrameSet) -> FrameSet:
+        return FrameSet(
+            kind=frame_set.kind,
+            frames={
+                direction: DirectionalFrame(
+                    direction=frame.direction,
+                    kind=frame.kind,
+                    values=np.array(frame.values, dtype=np.float64, copy=True),
+                    cycle=frame.cycle,
+                )
+                for direction, frame in frame_set.frames.items()
+            },
+            cycle=frame_set.cycle,
+        )
+
+    return FrameSample(
+        cycle=sample.cycle,
+        vco=clone_set(sample.vco),
+        boc=clone_set(sample.boc),
+        attack_active=sample.attack_active,
+        metadata=dict(sample.metadata),
+    )
+
+
+class FaultModel(ABC):
+    """Declarative description of one infrastructure fault.
+
+    Subclasses are frozen dataclasses: hashable into artifact-cache keys and
+    safe to share across worker processes.  The model holds no mutable
+    state — fault-trace randomness lives in the injector (or runtime hook)
+    built from it.
+    """
+
+    #: Registry key of the fault (e.g. ``"dropped-window"``).
+    name: str = "abstract"
+    #: ``"monitor"`` or ``"runtime"`` — which plane the fault degrades.
+    plane: str = "monitor"
+
+    def describe(self) -> str:
+        """One-line human description for tables and logs."""
+        return self.name
+
+
+class MonitorFaultInjector(ABC):
+    """Stateful realisation of one monitor-plane fault for one episode."""
+
+    def __init__(self, model: "MonitorFaultModel") -> None:
+        self.model = model
+
+    @abstractmethod
+    def process(self, sample: FrameSample) -> list[FrameSample]:
+        """Transform one captured window into the windows actually delivered.
+
+        Returns zero samples for a dropped window, one for a (possibly
+        transformed) pass-through, and several when a delay fault releases
+        buffered windows.  Injectors must not mutate their input — transforms
+        operate on :func:`clone_sample` copies.
+        """
+
+
+class MonitorFaultModel(FaultModel):
+    """A fault that degrades the monitor's sampling-window stream."""
+
+    plane: str = "monitor"
+
+    @abstractmethod
+    def build_injector(
+        self, topology: MeshTopology, seed: int = 0
+    ) -> MonitorFaultInjector:
+        """The per-episode injector realising this fault."""
+
+    def affected_nodes(self, topology: MeshTopology) -> frozenset[int]:
+        """Nodes whose telemetry this fault touches (empty = whole stream)."""
+        return frozenset()
+
+    def _rng(self, episode_seed: int, model_seed: int) -> np.random.Generator:
+        """Deterministic per-episode stream: depends only on the two seeds.
+
+        ``spawn_key`` keeps streams of co-injected faults independent even
+        when episode and model seeds collide; no process-salted ``hash()``
+        is involved, so worker processes replay identical traces.
+        """
+        return np.random.default_rng(
+            np.random.SeedSequence(
+                entropy=int(episode_seed) & 0xFFFFFFFFFFFFFFFF,
+                spawn_key=(int(model_seed) & 0xFFFFFFFF,),
+            )
+        )
+
+
+class FaultPlane:
+    """An ordered chain of monitor fault injectors applied to each window."""
+
+    def __init__(self, injectors: list[MonitorFaultInjector]) -> None:
+        self.injectors = list(injectors)
+
+    def process(self, sample: FrameSample) -> list[FrameSample]:
+        """Run one captured window through every injector, in order."""
+        samples = [sample]
+        for injector in self.injectors:
+            produced: list[FrameSample] = []
+            for item in samples:
+                produced.extend(injector.process(item))
+            samples = produced
+        return samples
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """A named, cache-hashable composition of monitor-plane fault models.
+
+    The unit of the chaos matrix's fault axis: a scenario is to faults what
+    an :class:`~repro.attacks.AttackModel` is to attacks — frozen,
+    declarative, and hashed directly into episode cache keys.
+    """
+
+    name: str
+    monitor_faults: tuple = ()
+
+    def build_plane(self, topology: MeshTopology, seed: int = 0) -> FaultPlane | None:
+        """The monitor fault plane for one episode (None = fault-free)."""
+        if not self.monitor_faults:
+            return None
+        return FaultPlane(
+            [
+                model.build_injector(topology, seed=seed + index)
+                for index, model in enumerate(self.monitor_faults)
+            ]
+        )
+
+    def affected_nodes(self, topology: MeshTopology) -> frozenset[int]:
+        """Every node any fault of the scenario specifically degrades."""
+        nodes: frozenset[int] = frozenset()
+        for model in self.monitor_faults:
+            nodes |= model.affected_nodes(topology)
+        return nodes
+
+    def describe(self) -> str:
+        if not self.monitor_faults:
+            return "fault-free"
+        return " + ".join(model.describe() for model in self.monitor_faults)

@@ -1,0 +1,279 @@
+"""Monitor-plane fault models: degraded telemetry for the defense to survive.
+
+Each model transforms the pristine sampling-window stream of the
+:class:`~repro.monitor.sampler.GlobalPerformanceMonitor` the way a broken
+collection fabric would:
+
+* :class:`SilentMonitorFault` — one router's monitor stops reporting; its
+  frame cells read zero and the window is annotated with the node as
+  *unobservable* (a missing report is locally detectable by the collector,
+  unlike a plausible-but-wrong one);
+* :class:`StuckCounterFault` — one router's counters freeze at their
+  last-reported values and keep reporting them, with **no** annotation: the
+  guard's degraded-mode sanitizer must detect the stuck signature itself;
+* :class:`DroppedWindowFault` — whole windows are lost in transit;
+* :class:`DelayedWindowFault` — windows are stalled behind a slow monitor
+  channel and delivered late, in order, with their original (now stale)
+  capture cycles;
+* :class:`CorruptedFrameFault` — individual frame cells are overwritten
+  with implausibly large values (an exponent bit-flip), testing the guard's
+  plausibility clamp.
+
+All transforms operate on deep copies (:func:`repro.faults.base.clone_sample`)
+and draw from seeded generators, so the same episode seed replays the same
+fault trace under either simulator backend and any worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.base import (
+    MonitorFaultInjector,
+    MonitorFaultModel,
+    clone_sample,
+    node_port_cells,
+)
+from repro.monitor.frames import FrameSample
+from repro.noc.topology import Direction, MeshTopology
+
+__all__ = [
+    "SilentMonitorFault",
+    "StuckCounterFault",
+    "DroppedWindowFault",
+    "DelayedWindowFault",
+    "CorruptedFrameFault",
+    "UNOBSERVABLE_KEY",
+]
+
+#: Metadata key carrying collection-layer-declared unobservable nodes.
+UNOBSERVABLE_KEY = "unobservable_nodes"
+
+
+def _mark_unobservable(sample: FrameSample, node: int) -> None:
+    current = set(sample.metadata.get(UNOBSERVABLE_KEY, ()))
+    current.add(int(node))
+    sample.metadata[UNOBSERVABLE_KEY] = tuple(sorted(current))
+
+
+def _node_frame_views(sample: FrameSample, topology: MeshTopology, node: int):
+    """(array, row, col) of every cell of ``node`` across the 8 frames."""
+    views = []
+    for direction, row, col in node_port_cells(topology, node):
+        views.append((sample.vco.frames[direction].values, row, col))
+        views.append((sample.boc.frames[direction].values, row, col))
+    return views
+
+
+@dataclass(frozen=True)
+class SilentMonitorFault(MonitorFaultModel):
+    """One router's monitor goes dark from ``start_window`` on."""
+
+    node: int
+    start_window: int = 0
+
+    name = "silent-monitor"
+
+    def describe(self) -> str:
+        return f"silent monitor @ node {self.node}"
+
+    def affected_nodes(self, topology: MeshTopology) -> frozenset[int]:
+        return frozenset((self.node,))
+
+    def build_injector(self, topology: MeshTopology, seed: int = 0) -> "_SilentInjector":
+        return _SilentInjector(self, topology)
+
+
+class _SilentInjector(MonitorFaultInjector):
+    def __init__(self, model: SilentMonitorFault, topology: MeshTopology) -> None:
+        super().__init__(model)
+        self.topology = topology
+        self._window = 0
+
+    def process(self, sample: FrameSample) -> list[FrameSample]:
+        window = self._window
+        self._window += 1
+        if window < self.model.start_window:
+            return [sample]
+        sample = clone_sample(sample)
+        for values, row, col in _node_frame_views(sample, self.topology, self.model.node):
+            values[row, col] = 0.0
+        _mark_unobservable(sample, self.model.node)
+        return [sample]
+
+
+@dataclass(frozen=True)
+class StuckCounterFault(MonitorFaultModel):
+    """One router's counters freeze at their ``start_window`` values.
+
+    Deliberately *not* self-declared: a stuck counter keeps producing
+    plausible numbers, so only the guard's stuck-signature detection (all
+    cells of one node bit-identical across consecutive windows) can catch
+    it.
+    """
+
+    node: int
+    start_window: int = 0
+
+    name = "stuck-counter"
+
+    def describe(self) -> str:
+        return f"stuck counters @ node {self.node}"
+
+    def affected_nodes(self, topology: MeshTopology) -> frozenset[int]:
+        return frozenset((self.node,))
+
+    def build_injector(self, topology: MeshTopology, seed: int = 0) -> "_StuckInjector":
+        return _StuckInjector(self, topology)
+
+
+class _StuckInjector(MonitorFaultInjector):
+    def __init__(self, model: StuckCounterFault, topology: MeshTopology) -> None:
+        super().__init__(model)
+        self.topology = topology
+        self._window = 0
+        self._frozen: list[float] | None = None
+
+    def process(self, sample: FrameSample) -> list[FrameSample]:
+        window = self._window
+        self._window += 1
+        if window < self.model.start_window:
+            return [sample]
+        sample = clone_sample(sample)
+        views = _node_frame_views(sample, self.topology, self.model.node)
+        if self._frozen is None:
+            # Freeze at onset: the first faulty window still reports truth.
+            self._frozen = [float(values[row, col]) for values, row, col in views]
+        for (values, row, col), frozen in zip(views, self._frozen):
+            values[row, col] = frozen
+        return [sample]
+
+
+@dataclass(frozen=True)
+class DroppedWindowFault(MonitorFaultModel):
+    """Each sampling window is independently lost with ``probability``."""
+
+    probability: float = 0.125
+    seed: int = 0
+
+    name = "dropped-window"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability < 1.0:
+            raise ValueError("probability must be in [0, 1)")
+
+    def describe(self) -> str:
+        return f"{self.probability:.0%} window dropout"
+
+    def build_injector(self, topology: MeshTopology, seed: int = 0) -> "_DropInjector":
+        return _DropInjector(self, self._rng(seed, self.seed))
+
+
+class _DropInjector(MonitorFaultInjector):
+    def __init__(self, model: DroppedWindowFault, rng: np.random.Generator) -> None:
+        super().__init__(model)
+        self.rng = rng
+
+    def process(self, sample: FrameSample) -> list[FrameSample]:
+        if float(self.rng.random()) < self.model.probability:
+            return []
+        return [sample]
+
+
+@dataclass(frozen=True)
+class DelayedWindowFault(MonitorFaultModel):
+    """Windows stall behind a slow monitor channel and arrive late, in order.
+
+    A delayed window blocks the windows captured after it (head-of-line: the
+    channel is stalled, not reordering), so a single delay delivers a burst
+    of consecutive windows at one instant — each still carrying its original
+    capture cycle, which is what exercises the guard's stale-clock handling.
+    """
+
+    probability: float = 0.2
+    delay_windows: int = 2
+    seed: int = 0
+
+    name = "delayed-window"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability < 1.0:
+            raise ValueError("probability must be in [0, 1)")
+        if self.delay_windows < 1:
+            raise ValueError("delay_windows must be >= 1")
+
+    def describe(self) -> str:
+        return f"{self.probability:.0%} windows delayed {self.delay_windows}"
+
+    def build_injector(self, topology: MeshTopology, seed: int = 0) -> "_DelayInjector":
+        return _DelayInjector(self, self._rng(seed, self.seed))
+
+
+class _DelayInjector(MonitorFaultInjector):
+    def __init__(self, model: DelayedWindowFault, rng: np.random.Generator) -> None:
+        super().__init__(model)
+        self.rng = rng
+        self._index = 0
+        self._queue: list[tuple[int, FrameSample]] = []
+
+    def process(self, sample: FrameSample) -> list[FrameSample]:
+        index = self._index
+        self._index += 1
+        due = index
+        if float(self.rng.random()) < self.model.probability:
+            due = index + self.model.delay_windows
+        self._queue.append((due, sample))
+        released: list[FrameSample] = []
+        while self._queue and self._queue[0][0] <= index:
+            released.append(self._queue.pop(0)[1])
+        return released
+
+
+@dataclass(frozen=True)
+class CorruptedFrameFault(MonitorFaultModel):
+    """Individual frame cells are overwritten with an implausible magnitude.
+
+    Models an exponent bit-flip in the collection path: the corrupted value
+    is physically impossible (VCO is a ratio in [0, 1]; BOC is bounded by
+    buffer operations per window), which is exactly what the guard's
+    plausibility clamp keys on.
+    """
+
+    cell_probability: float = 0.01
+    magnitude: float = float(1 << 20)
+    seed: int = 0
+
+    name = "corrupted-frame"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cell_probability < 1.0:
+            raise ValueError("cell_probability must be in [0, 1)")
+        if self.magnitude <= 0.0:
+            raise ValueError("magnitude must be positive")
+
+    def describe(self) -> str:
+        return f"{self.cell_probability:.1%} cells corrupted"
+
+    def build_injector(self, topology: MeshTopology, seed: int = 0) -> "_CorruptInjector":
+        return _CorruptInjector(self, self._rng(seed, self.seed))
+
+
+class _CorruptInjector(MonitorFaultInjector):
+    def __init__(self, model: CorruptedFrameFault, rng: np.random.Generator) -> None:
+        super().__init__(model)
+        self.rng = rng
+
+    def process(self, sample: FrameSample) -> list[FrameSample]:
+        sample = clone_sample(sample)
+        # Fixed iteration order (VCO then BOC, cardinal direction order)
+        # keeps the draw sequence — and therefore the fault trace —
+        # deterministic for a given seed.
+        for frame_set in (sample.vco, sample.boc):
+            for direction in Direction.cardinal():
+                values = frame_set.frames[direction].values
+                mask = self.rng.random(values.shape) < self.model.cell_probability
+                if mask.any():
+                    values[mask] = self.model.magnitude
+        return [sample]

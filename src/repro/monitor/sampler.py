@@ -43,6 +43,9 @@ class GlobalPerformanceMonitor:
         self._attackers: list = []
         self._listeners: list[Callable[[FrameSample, NoCSimulator], None]] = []
         self._window_start: int | None = None
+        # Optional monitor-plane fault injection (repro.faults): transforms
+        # the captured stream between capture and store/dispatch.
+        self.fault_plane = None
 
     # -- wiring ------------------------------------------------------------
     def attach(self, simulator: NoCSimulator) -> "GlobalPerformanceMonitor":
@@ -78,9 +81,28 @@ class GlobalPerformanceMonitor:
         """
         self._listeners.append(callback)
 
+    def set_fault_plane(self, plane) -> "GlobalPerformanceMonitor":
+        """Install a monitor-plane fault chain (``None`` restores fault-free).
+
+        ``plane`` is a :class:`repro.faults.base.FaultPlane` (duck-typed: any
+        object with ``process(sample) -> list[FrameSample]``).  Faults apply
+        *after* frame capture and ground-truth labelling and *before* the
+        sample is stored or dispatched to listeners, so both simulator
+        backends — which produce bit-identical pristine frames — feed
+        consumers bit-identical degraded streams.
+        """
+        self.fault_plane = plane
+        return self
+
     # -- sampling ------------------------------------------------------------
     def sample(self, simulator: NoCSimulator) -> FrameSample:
-        """Capture one frame sample right now and store it."""
+        """Capture one frame sample right now; store/dispatch what survives.
+
+        Returns the pristine capture.  With a fault plane installed,
+        ``samples`` and the listener stream instead receive whatever the
+        plane delivers for this window — possibly nothing (dropped), a
+        transformed copy, or several buffered windows released at once.
+        """
         network = simulator.network
         cycle = simulator.cycle
         vco_values = extract_feature_frames(network, FeatureKind.VCO)
@@ -122,11 +144,18 @@ class GlobalPerformanceMonitor:
             boc=FrameSet(kind=FeatureKind.BOC, frames=boc_frames, cycle=cycle),
             attack_active=attack_active,
         )
-        self.samples.append(sample)
+        # BOC counters reset unconditionally: the hardware window restarts
+        # whether or not the *transport* of this window's report survives
+        # the fault plane below.
         if self.config.reset_boc_after_sample:
             network.reset_boc_counters()
-        for listener in self._listeners:
-            listener(sample, simulator)
+        delivered = (
+            [sample] if self.fault_plane is None else self.fault_plane.process(sample)
+        )
+        for item in delivered:
+            self.samples.append(item)
+            for listener in self._listeners:
+                listener(item, simulator)
         return sample
 
     # -- results ---------------------------------------------------------------

@@ -11,9 +11,19 @@ recomputing.
 Entries are directories.  A writer fills a temporary sibling directory,
 writes a ``manifest.json`` (file names + sizes) *last*, then atomically
 renames the directory into place; a reader treats a missing manifest, a
-missing or size-mismatched file, or a loader exception as a cache miss,
-purges the broken entry and rebuilds.  Interrupted writes therefore can never
-be loaded.
+missing or size-mismatched file, or a loader exception as a cache miss and
+rebuilds.  Interrupted writes therefore can never be loaded.
+
+Corruption is *reported*, not hidden: a broken entry is moved into the
+hidden ``.quarantine/`` directory under the cache root (with a
+``RuntimeWarning`` naming it) instead of being silently deleted, so a bad
+disk, a truncating copy tool, or an adversarial modification stays
+inspectable after the rebuild.  The quarantine keeps only the newest few
+specimens.  Transient read failures are distinguished from corruption:
+manifest reads are retried briefly (a concurrent writer renaming the entry
+into place can momentarily race the reader), and an entry that vanished
+*entirely* between the existence check and the read is a plain miss — that
+is a concurrent eviction, not damage.
 
 Environment variables:
 
@@ -33,7 +43,9 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import time
 import uuid
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, TypeVar
@@ -45,6 +57,14 @@ __all__ = ["ArtifactCache", "CacheStats", "default_cache_root"]
 T = TypeVar("T")
 
 _MANIFEST = "manifest.json"
+#: Hidden directory (under the cache root) holding quarantined entries.
+_QUARANTINE = ".quarantine"
+#: Newest quarantined specimens kept for inspection; older ones are pruned.
+_QUARANTINE_KEEP = 16
+#: Manifest-read retries before an unreadable manifest counts as corruption
+#: (a concurrent writer's rename can momentarily race the reader).
+_MANIFEST_READ_RETRIES = 2
+_MANIFEST_RETRY_SLEEP = 0.01
 
 
 def default_cache_root() -> Path:
@@ -83,6 +103,7 @@ class CacheStats:
     stores: int = 0
     invalid: int = 0
     evicted: int = 0
+    quarantined: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -91,6 +112,7 @@ class CacheStats:
             "stores": self.stores,
             "invalid": self.invalid,
             "evicted": self.evicted,
+            "quarantined": self.quarantined,
         }
 
 
@@ -128,12 +150,30 @@ class ArtifactCache:
         key = cache_key(kind, payload)
         return self.root / key[:2] / key
 
-    def _is_complete(self, entry: Path) -> bool:
+    def _read_manifest_files(self, entry: Path) -> dict | None:
+        """The entry's manifest file table, retried over transient races.
+
+        A reader can attach to an entry in the same instant a concurrent
+        writer renames it into place (or an LRU prune renames it away); one
+        failed read therefore proves nothing.  Only a manifest that stays
+        unreadable across the retry budget is reported as corruption.
+        """
         manifest_path = entry / _MANIFEST
-        try:
-            manifest = json.loads(manifest_path.read_text())
-            files = manifest["files"]
-        except (OSError, ValueError, KeyError):
+        for attempt in range(_MANIFEST_READ_RETRIES + 1):
+            try:
+                manifest = json.loads(manifest_path.read_text())
+                files = manifest["files"]
+                if isinstance(files, dict):
+                    return files
+                return None
+            except (OSError, ValueError, KeyError):
+                if attempt < _MANIFEST_READ_RETRIES:
+                    time.sleep(_MANIFEST_RETRY_SLEEP)
+        return None
+
+    def _is_complete(self, entry: Path) -> bool:
+        files = self._read_manifest_files(entry)
+        if files is None:
             return False
         for name, size in files.items():
             data_path = entry / name
@@ -147,6 +187,41 @@ class ArtifactCache:
     def _purge(self, entry: Path) -> None:
         shutil.rmtree(entry, ignore_errors=True)
 
+    def _quarantine(self, entry: Path, reason: str) -> None:
+        """Move a damaged entry aside (with a warning) instead of deleting it.
+
+        The quarantined copy lands under ``<root>/.quarantine/`` with a
+        unique suffix; hidden directories are excluded from entry iteration
+        and the size accounting, and only the newest ``_QUARANTINE_KEEP``
+        specimens are kept.  When the move itself fails the entry is purged
+        — an unreadable *and* unmovable entry must not block the rebuild.
+        """
+        quarantine = self.root / _QUARANTINE
+        target = quarantine / f"{entry.name}-{uuid.uuid4().hex[:8]}"
+        try:
+            quarantine.mkdir(parents=True, exist_ok=True)
+            os.replace(entry, target)
+        except OSError:
+            self._purge(entry)
+            return
+        self.stats.quarantined += 1
+        warnings.warn(
+            f"cache entry {entry.name} is corrupt ({reason}); moved to "
+            f"{target} for inspection, the artifact will be rebuilt",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        try:
+            specimens = sorted(
+                (path for path in quarantine.iterdir() if path.is_dir()),
+                key=lambda path: path.stat().st_mtime,
+                reverse=True,
+            )
+        except OSError:  # pragma: no cover - concurrent cleanup
+            return
+        for stale in specimens[_QUARANTINE_KEEP:]:
+            self._purge(stale)
+
     # -- read / write -------------------------------------------------------
     def fetch(
         self, kind: str, payload: Any, load: Callable[[Path], T]
@@ -154,8 +229,11 @@ class ArtifactCache:
         """Load a cached artifact; ``None`` on miss, corruption, or disabled.
 
         A corrupted or partially written entry (missing/invalid manifest,
-        truncated file, loader exception) is deleted so the caller's rebuild
-        can store a fresh copy.
+        truncated file, loader exception) is quarantined with a warning so
+        the caller's rebuild can store a fresh copy while the damaged bytes
+        stay inspectable.  An entry that vanished entirely between the
+        existence check and the read is a concurrent eviction — a plain
+        miss, not corruption.
         """
         if not self.enabled:
             self.stats.misses += 1
@@ -165,16 +243,20 @@ class ArtifactCache:
             self.stats.misses += 1
             return None
         if not self._is_complete(entry):
-            self.stats.invalid += 1
             self.stats.misses += 1
-            self._purge(entry)
+            if not entry.is_dir():
+                return None
+            self.stats.invalid += 1
+            self._quarantine(entry, "manifest missing, unreadable, or size mismatch")
             return None
         try:
             value = load(entry)
-        except Exception:
-            self.stats.invalid += 1
+        except Exception as error:
             self.stats.misses += 1
-            self._purge(entry)
+            if not entry.is_dir():
+                return None
+            self.stats.invalid += 1
+            self._quarantine(entry, f"loader failed: {type(error).__name__}")
             return None
         self.stats.hits += 1
         # LRU touch: a hit makes the entry the most recently used one, so
@@ -252,7 +334,8 @@ class ArtifactCache:
         if not self.root.is_dir():
             return entries
         for shard in self.root.iterdir():
-            if not shard.is_dir():
+            # Hidden directories (the quarantine) are not cache entries.
+            if not shard.is_dir() or shard.name.startswith("."):
                 continue
             for entry in shard.iterdir():
                 if not entry.is_dir() or entry.name.startswith(".staging-"):

@@ -27,7 +27,9 @@ __all__ = ["CACHE_SCHEMA_VERSION", "canonical_payload", "cache_key"]
 #: Version salt folded into every cache key (see module docstring).
 #: v2: the defense guard consults the cross-window evidence accumulator by
 #: default, changing every cached mitigation/robustness episode timeline.
-CACHE_SCHEMA_VERSION = 2
+#: v3: degraded-mode sanitisation, staggered release probes and the
+#: drain-aware window accounting change every cached episode timeline again.
+CACHE_SCHEMA_VERSION = 3
 
 
 def canonical_payload(obj: Any) -> Any:

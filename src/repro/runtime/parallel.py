@@ -25,12 +25,32 @@ arrays straight from the segment (workers write zero-copy, the parent takes
 a single copy while detaching so segment lifetime stays bounded).  Disable
 with ``REPRO_SHM_FRAMES=0``; the serial path and the fallback are
 bit-identical.
+
+Worker processes can die, hang, or be killed; a deterministic executor must
+survive that without changing a single result.  When a per-task timeout
+(``REPRO_TASK_TIMEOUT`` seconds, or the ``task_timeout`` argument) or a
+fault hook is configured, dispatch switches to a **resilient** path: each
+task is submitted individually, awaited with its own timeout, and failed or
+timed-out tasks are retried on a fresh pool with exponential backoff (the
+old pool is terminated outright — a hung worker poisons a pool for every
+task queued behind it).  Tasks still failing after ``REPRO_TASK_RETRIES``
+rounds fall back to plain serial execution in the parent, which is
+bit-identical by construction — and re-raises deterministic task errors
+instead of masking them as infrastructure failures.
+
+The optional ``fault`` hook (duck-typed: ``before_task(index, attempt)``
+and ``after_task(index, attempt) -> bool``) runs inside the worker around
+each task and exists for chaos testing — :mod:`repro.faults.runtime`
+provides an implementation, but this module deliberately does not import
+it.  The serial short-circuit and the fallback never invoke the hook: they
+are the reference results the faulted runs must reproduce.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
@@ -39,6 +59,8 @@ import numpy as np
 __all__ = [
     "ArrayBundle",
     "ParallelRunner",
+    "configured_task_retries",
+    "configured_task_timeout",
     "configured_workers",
     "derive_seeds",
     "shared_memory_enabled",
@@ -46,6 +68,9 @@ __all__ = [
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: First-retry sleep; round ``k`` waits ``base * 2**k`` seconds.
+_RETRY_BACKOFF_BASE = 0.05
 
 
 def shared_memory_enabled() -> bool:
@@ -182,6 +207,63 @@ def configured_workers(default: int = 1) -> int:
     return max(1, value)
 
 
+def configured_task_timeout(default: float | None = None) -> float | None:
+    """Per-task timeout in seconds from ``REPRO_TASK_TIMEOUT`` (default: off)."""
+    raw = os.environ.get("REPRO_TASK_TIMEOUT", "").strip()
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_TASK_TIMEOUT must be a number, got {raw!r}") from None
+    return value if value > 0 else None
+
+
+def configured_task_retries(default: int = 2) -> int:
+    """Retry rounds for failed/timed-out tasks from ``REPRO_TASK_RETRIES``."""
+    raw = os.environ.get("REPRO_TASK_RETRIES", "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_TASK_RETRIES must be an integer, got {raw!r}") from None
+    return max(0, value)
+
+
+class _GuardedCall:
+    """Worker-side wrapper of one resilient dispatch.
+
+    Runs the (duck-typed) fault hook around the task, packs array bundles
+    into shared memory when asked, and — on an injected exit-crash — frees
+    the already-parked segment before raising, so chaos runs cannot strand
+    allocations in ``/dev/shm``.
+    """
+
+    def __init__(self, fn: Callable, fault: Any = None, pack: bool = False) -> None:
+        self.fn = fn
+        self.fault = fault
+        self.pack = pack
+
+    def __call__(self, payload: tuple[int, int, Any]):
+        index, attempt, task = payload
+        if self.fault is not None:
+            before = getattr(self.fault, "before_task", None)
+            if before is not None:
+                before(index, attempt)
+        call = _ShmCall(self.fn) if self.pack else self.fn
+        result = call(task)
+        if self.fault is not None:
+            after = getattr(self.fault, "after_task", None)
+            if after is not None and after(index, attempt):
+                if self.pack:
+                    _discard_handle(result)
+                raise RuntimeError(
+                    f"injected worker crash after task {index} (attempt {attempt})"
+                )
+        return result
+
+
 def derive_seeds(root_seed: int, count: int) -> list[int]:
     """``count`` independent per-task seeds from one root seed.
 
@@ -198,7 +280,14 @@ def derive_seeds(root_seed: int, count: int) -> list[int]:
 class ParallelRunner:
     """Ordered, deterministic ``map`` over independent tasks."""
 
-    def __init__(self, workers: int | None = None, start_method: str | None = None) -> None:
+    def __init__(
+        self,
+        workers: int | None = None,
+        start_method: str | None = None,
+        task_timeout: float | None = None,
+        task_retries: int | None = None,
+        fault: Any = None,
+    ) -> None:
         self.workers = configured_workers() if workers is None else max(1, int(workers))
         if start_method is None:
             # fork shares the already-imported interpreter state, which keeps
@@ -206,6 +295,16 @@ class ParallelRunner:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
         self.start_method = start_method
+        if task_timeout is None:
+            self.task_timeout = configured_task_timeout()
+        else:
+            self.task_timeout = float(task_timeout) if task_timeout > 0 else None
+        self.task_retries = (
+            configured_task_retries()
+            if task_retries is None
+            else max(0, int(task_retries))
+        )
+        self.fault = fault
 
     @classmethod
     def from_environment(cls) -> "ParallelRunner":
@@ -215,20 +314,80 @@ class ParallelRunner:
     def is_serial(self) -> bool:
         return self.workers <= 1
 
+    @property
+    def resilient(self) -> bool:
+        """Whether parallel dispatch uses the per-task retry/timeout path."""
+        return self.fault is not None or self.task_timeout is not None
+
     def map(self, fn: Callable[[T], R], tasks: Iterable[T]) -> list[R]:
         """Apply ``fn`` to every task; results are in task order.
 
         Serial (``workers <= 1`` or fewer than two tasks) runs in-process;
         otherwise a process pool executes the tasks with ``chunksize=1`` so
-        long tasks do not serialise behind short ones.
+        long tasks do not serialise behind short ones.  With a task timeout
+        or a fault hook configured the pool dispatch is resilient: crashed,
+        hung or poisoned tasks are retried on fresh pools and ultimately
+        recomputed serially in the parent, so the returned list is always
+        bit-identical to a serial run.
         """
         task_list = list(tasks)
         if self.is_serial or len(task_list) <= 1:
             return [fn(task) for task in task_list]
+        if self.resilient:
+            return self._map_resilient(fn, task_list, pack=False)
         context = multiprocessing.get_context(self.start_method)
         processes = min(self.workers, len(task_list))
         with context.Pool(processes=processes) as pool:
             return pool.map(fn, task_list, chunksize=1)
+
+    def _map_resilient(self, fn: Callable, task_list: list, pack: bool) -> list:
+        """Per-task dispatch with timeout, retry rounds and serial fallback.
+
+        Every attempt round runs on a *fresh* pool and the previous pool is
+        terminated, not closed: a worker hung inside a task would otherwise
+        hold its slot (and ``close``/``join``) forever.  Shared-memory
+        handles are unpacked while their pool is still alive — see
+        :meth:`map_arrays` for why.  Whatever still fails after the retry
+        budget is recomputed in the parent with the bare ``fn`` (no fault
+        hook), which both restores the bit-identical serial result and lets
+        a deterministic task error surface as itself.
+        """
+        context = multiprocessing.get_context(self.start_method)
+        call = _GuardedCall(fn, fault=self.fault, pack=pack)
+        results: dict[int, Any] = {}
+        pending = list(range(len(task_list)))
+        for attempt in range(self.task_retries + 1):
+            if not pending:
+                break
+            processes = min(self.workers, len(pending))
+            pool = context.Pool(processes=processes)
+            failed: list[int] = []
+            try:
+                dispatched = [
+                    (
+                        index,
+                        pool.apply_async(
+                            call, ((index, attempt, task_list[index]),)
+                        ),
+                    )
+                    for index in pending
+                ]
+                for index, handle in dispatched:
+                    try:
+                        value = handle.get(self.task_timeout)
+                    except Exception:
+                        failed.append(index)
+                    else:
+                        results[index] = _unpack_handle(value) if pack else value
+            finally:
+                pool.terminate()
+                pool.join()
+            pending = failed
+            if pending and attempt < self.task_retries:
+                time.sleep(_RETRY_BACKOFF_BASE * 2**attempt)
+        for index in pending:
+            results[index] = fn(task_list[index])
+        return [results[index] for index in range(len(task_list))]
 
     def map_seeded(
         self,
@@ -257,6 +416,8 @@ class ParallelRunner:
             return [fn(task) for task in task_list]
         if not shared_memory_enabled():
             return self.map(fn, task_list)
+        if self.resilient:
+            return self._map_resilient(fn, task_list, pack=True)
         context = multiprocessing.get_context(self.start_method)
         processes = min(self.workers, len(task_list))
         bundles: list[ArrayBundle] = []

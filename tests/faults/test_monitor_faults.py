@@ -1,0 +1,263 @@
+"""Unit tests for the monitor-plane fault models and the fault plane."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FAULT_LIBRARY,
+    CorruptedFrameFault,
+    DelayedWindowFault,
+    DroppedWindowFault,
+    FaultScenario,
+    SilentMonitorFault,
+    StuckCounterFault,
+    UNOBSERVABLE_KEY,
+    default_fault_suite,
+    node_port_cells,
+    silent_node_for,
+    stuck_node_for,
+)
+from repro.monitor.features import FeatureKind, frame_shape
+from repro.monitor.frames import DirectionalFrame, FrameSample, FrameSet
+from repro.noc.topology import Direction, MeshTopology
+
+
+def make_sample(topology, cycle, fill=0.25, rng=None):
+    """A synthetic frame sample; ``rng`` randomizes cells, ``fill`` is flat."""
+
+    def frame_set(kind):
+        frames = {}
+        for direction in Direction.cardinal():
+            shape = frame_shape(topology, direction)
+            if rng is not None:
+                values = rng.random(shape)
+            else:
+                values = np.full(shape, fill, dtype=np.float64)
+            frames[direction] = DirectionalFrame(
+                direction=direction, kind=kind, values=values, cycle=cycle
+            )
+        return FrameSet(kind=kind, frames=frames, cycle=cycle)
+
+    return FrameSample(
+        cycle=cycle,
+        vco=frame_set(FeatureKind.VCO),
+        boc=frame_set(FeatureKind.BOC),
+    )
+
+
+@pytest.fixture
+def topology():
+    return MeshTopology(rows=4, columns=4)
+
+
+class TestGeometry:
+    def test_corner_node_owns_two_cells(self, topology):
+        assert len(node_port_cells(topology, topology.node_id(0, 0))) == 2
+
+    def test_interior_node_owns_four_cells(self, topology):
+        assert len(node_port_cells(topology, topology.node_id(1, 1))) == 4
+
+    def test_cells_are_unique_across_nodes(self, topology):
+        seen = set()
+        for node in range(topology.num_nodes):
+            for cell in node_port_cells(topology, node):
+                assert cell not in seen
+                seen.add(cell)
+
+
+class TestSilentMonitorFault:
+    def test_zeroes_cells_and_declares_node(self, topology):
+        node = topology.node_id(2, 2)
+        fault = SilentMonitorFault(node=node)
+        injector = fault.build_injector(topology)
+        (out,) = injector.process(make_sample(topology, 100, fill=0.5))
+        for direction, row, col in node_port_cells(topology, node):
+            assert out.vco.frames[direction].values[row, col] == 0.0
+            assert out.boc.frames[direction].values[row, col] == 0.0
+        assert out.metadata[UNOBSERVABLE_KEY] == (node,)
+
+    def test_other_cells_untouched_and_input_not_mutated(self, topology):
+        node = topology.node_id(0, 0)
+        pristine = make_sample(topology, 100, fill=0.5)
+        injector = SilentMonitorFault(node=node).build_injector(topology)
+        (out,) = injector.process(pristine)
+        assert pristine.vco.frames[Direction.EAST].values[0, 0] == 0.5
+        untouched = out.vco.frames[Direction.EAST].values.copy()
+        untouched[0, 0] = 0.5
+        assert np.all(untouched == 0.5)
+
+    def test_start_window_delays_onset(self, topology):
+        node = topology.node_id(1, 1)
+        injector = SilentMonitorFault(node=node, start_window=2).build_injector(
+            topology
+        )
+        first = injector.process(make_sample(topology, 100))[0]
+        assert UNOBSERVABLE_KEY not in first.metadata
+        injector.process(make_sample(topology, 200))
+        third = injector.process(make_sample(topology, 300))[0]
+        assert third.metadata[UNOBSERVABLE_KEY] == (node,)
+
+
+class TestStuckCounterFault:
+    def test_freezes_values_without_declaring(self, topology):
+        node = topology.node_id(1, 2)
+        injector = StuckCounterFault(node=node).build_injector(topology)
+        first = injector.process(make_sample(topology, 100, fill=0.3))[0]
+        second = injector.process(make_sample(topology, 200, fill=0.9))[0]
+        direction, row, col = node_port_cells(topology, node)[0]
+        # First faulty window reports truth; later windows replay it.
+        assert first.vco.frames[direction].values[row, col] == 0.3
+        assert second.vco.frames[direction].values[row, col] == 0.3
+        assert UNOBSERVABLE_KEY not in second.metadata
+
+    def test_other_nodes_keep_flowing(self, topology):
+        node = topology.node_id(1, 2)
+        injector = StuckCounterFault(node=node).build_injector(topology)
+        injector.process(make_sample(topology, 100, fill=0.3))
+        second = injector.process(make_sample(topology, 200, fill=0.9))[0]
+        stuck_cells = set(node_port_cells(topology, node))
+        for direction in Direction.cardinal():
+            values = second.vco.frames[direction].values
+            for row in range(values.shape[0]):
+                for col in range(values.shape[1]):
+                    if (direction, row, col) not in stuck_cells:
+                        assert values[row, col] == 0.9
+
+
+class TestDroppedWindowFault:
+    def test_drop_rate_and_determinism(self, topology):
+        fault = DroppedWindowFault(probability=0.25, seed=3)
+
+        def deliveries():
+            injector = fault.build_injector(topology, seed=11)
+            return [
+                len(injector.process(make_sample(topology, 100 * i)))
+                for i in range(200)
+            ]
+
+        first, second = deliveries(), deliveries()
+        assert first == second
+        dropped = first.count(0)
+        assert 20 <= dropped <= 80  # ~50 expected at p=0.25
+
+    def test_different_episode_seeds_differ(self, topology):
+        fault = DroppedWindowFault(probability=0.5, seed=3)
+        a = fault.build_injector(topology, seed=1)
+        b = fault.build_injector(topology, seed=2)
+        trace_a = [len(a.process(make_sample(topology, i))) for i in range(64)]
+        trace_b = [len(b.process(make_sample(topology, i))) for i in range(64)]
+        assert trace_a != trace_b
+
+
+class TestDelayedWindowFault:
+    def test_delivers_in_order_with_original_cycles(self, topology):
+        fault = DelayedWindowFault(probability=0.5, delay_windows=2, seed=5)
+        injector = fault.build_injector(topology, seed=9)
+        delivered = []
+        for i in range(64):
+            delivered.extend(
+                sample.cycle for sample in injector.process(make_sample(topology, 100 * i))
+            )
+        assert delivered == sorted(delivered)
+        assert len(set(delivered)) == len(delivered)
+
+    def test_nothing_lost_after_drain(self, topology):
+        fault = DelayedWindowFault(probability=0.9, delay_windows=3, seed=5)
+        injector = fault.build_injector(topology, seed=9)
+        count = 0
+        total = 32
+        for i in range(total):
+            count += len(injector.process(make_sample(topology, 100 * i)))
+        # The head-of-line queue may still hold the tail; nothing duplicated.
+        assert count <= total
+        assert count >= total - fault.delay_windows - 1
+
+
+class TestCorruptedFrameFault:
+    def test_corrupts_cells_with_magnitude(self, topology):
+        fault = CorruptedFrameFault(cell_probability=0.2, seed=2)
+        injector = fault.build_injector(topology, seed=4)
+        pristine = make_sample(topology, 100, fill=0.5)
+        (out,) = injector.process(pristine)
+        corrupted = sum(
+            int(np.sum(frame_set.frames[d].values == fault.magnitude))
+            for frame_set in (out.vco, out.boc)
+            for d in Direction.cardinal()
+        )
+        assert corrupted > 0
+        assert np.all(pristine.vco.frames[Direction.EAST].values == 0.5)
+
+    def test_trace_is_deterministic(self, topology):
+        fault = CorruptedFrameFault(cell_probability=0.1, seed=2)
+
+        def trace():
+            injector = fault.build_injector(topology, seed=4)
+            out = []
+            for i in range(16):
+                (sample,) = injector.process(make_sample(topology, i, fill=0.5))
+                out.append(sample.vco.frames[Direction.EAST].values.copy())
+            return out
+
+        for a, b in zip(trace(), trace()):
+            assert np.array_equal(a, b)
+
+
+class TestFaultScenario:
+    def test_plane_chains_injectors(self, topology):
+        node = topology.node_id(2, 2)
+        scenario = FaultScenario(
+            name="combo",
+            monitor_faults=(
+                DroppedWindowFault(probability=0.3, seed=7),
+                SilentMonitorFault(node=node),
+            ),
+        )
+        plane = scenario.build_plane(topology, seed=5)
+        delivered = []
+        for i in range(64):
+            delivered.extend(plane.process(make_sample(topology, 100 * i, fill=0.5)))
+        assert 0 < len(delivered) < 64
+        for sample in delivered:
+            assert sample.metadata[UNOBSERVABLE_KEY] == (node,)
+
+    def test_empty_scenario_has_no_plane(self, topology):
+        assert FaultScenario(name="none").build_plane(topology) is None
+
+    def test_affected_nodes_union(self, topology):
+        suite = default_fault_suite(topology)
+        assert suite["dropout_silent"].affected_nodes(topology) == frozenset(
+            (silent_node_for(topology),)
+        )
+        assert suite["stuck"].affected_nodes(topology) == frozenset(
+            (stuck_node_for(topology),)
+        )
+        assert suite["dropout"].affected_nodes(topology) == frozenset()
+
+    def test_scenarios_are_cache_hashable(self, topology):
+        from repro.runtime.hashing import cache_key
+
+        suite = default_fault_suite(topology)
+        keys = {name: cache_key("test", scenario) for name, scenario in suite.items()}
+        assert len(set(keys.values())) == len(keys)
+        again = {
+            name: cache_key("test", scenario)
+            for name, scenario in default_fault_suite(topology).items()
+        }
+        assert keys == again
+
+
+class TestLibrary:
+    def test_registry_names_match_classes(self):
+        for name, model in FAULT_LIBRARY.items():
+            assert model.name == name
+
+    def test_canonical_placements_avoid_attackers(self):
+        from repro.attacks import ATTACK_LIBRARY, default_attack
+
+        for rows in (6, 8, 16):
+            topology = MeshTopology(rows=rows, columns=rows)
+            protected = {silent_node_for(topology), stuck_node_for(topology)}
+            for name in ATTACK_LIBRARY:
+                model = default_attack(name, topology, 200)
+                overlap = protected & set(model.containment_nodes)
+                assert not overlap, f"{name} @ {rows}x{rows} overlaps {overlap}"
