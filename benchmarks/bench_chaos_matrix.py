@@ -1,10 +1,11 @@
 """Chaos matrix: the defense under monitor faults, recorded.
 
 The fault axis of the robustness matrix.  Every refined-DoS variant is
-replayed at 8x8 and 16x16 with a monitor-fault scenario installed between
-the sampler and the guard; the acceptance gate is the ``dropout_silent``
-scenario — >= 10% of monitor windows dropped *plus* one completely silent
-monitor node — against the fault-free ``none`` comparator.
+replayed at 8x8 and 16x16 with a fault scenario installed; the acceptance
+gates are the ``dropout_silent`` scenario — >= 10% of monitor windows
+dropped *plus* one completely silent monitor node — and the ``link_faults``
+scenario — a mesh link killed mid-attack, forcing the data plane onto
+west-first detour routes — both against the fault-free ``none`` comparator.
 
 Three properties are gated per cell:
 
@@ -41,9 +42,18 @@ def _fault_scenarios() -> tuple[str, ...]:
     """
     raw = os.environ.get("REPRO_FAULTS", "").strip()
     if not raw:
-        return ("none", "dropout_silent")
+        return ("none", "dropout_silent", "link_faults")
     if raw.lower() == "all":
-        return ("none", "dropout", "silent", "dropout_silent", "stuck", "corrupt", "delay")
+        return (
+            "none",
+            "dropout",
+            "silent",
+            "dropout_silent",
+            "stuck",
+            "corrupt",
+            "delay",
+            "link_faults",
+        )
     scenarios = tuple(part.strip() for part in raw.split(",") if part.strip())
     return scenarios if "none" in scenarios else ("none",) + scenarios
 

@@ -86,6 +86,21 @@ class DL2Fence:
             (rows, rows - 1, 1), config=self.config
         )
         self.tlm = TableLikeMethod(topology)
+        #: Live fault-aware routing (``None`` = pristine XY mesh).  Set via
+        #: :meth:`set_route_provider`; VCE route deduction and TLM candidate
+        #: enumeration both follow it so localization stays topology-aware
+        #: on a degrading mesh.
+        self.route_provider = None
+
+    def set_route_provider(self, provider) -> None:
+        """Point the localization stages at the live routing function.
+
+        ``provider`` is a :class:`repro.noc.route_provider.RouteProvider`
+        (or ``None`` to restore pristine XY).  Idempotent and cheap, so the
+        runtime guard can call it every sampling window.
+        """
+        self.route_provider = provider
+        self.tlm.set_route_provider(provider)
 
     # -- training -----------------------------------------------------------
     def fit(
@@ -189,7 +204,10 @@ class DL2Fence:
 
         if self.config.enable_vce:
             victims = victim_completing_enhancement(
-                self.topology, victims, direction_victims
+                self.topology,
+                victims,
+                direction_victims,
+                route_provider=self.route_provider,
             )
             fused = self._mask_from_victims(victims)
 

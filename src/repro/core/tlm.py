@@ -75,10 +75,23 @@ def estimate_attacker_count(
 
 
 class TableLikeMethod:
-    """Attacker localization from per-direction victim sets."""
+    """Attacker localization from per-direction victim sets.
 
-    def __init__(self, topology: MeshTopology) -> None:
+    ``route_provider`` (optional, also settable later via
+    :meth:`set_route_provider`) makes the reverse deduction follow the live
+    routing function of a degraded mesh: a candidate whose arrival link
+    into the victim route is dead is physically incapable of having caused
+    the observed abnormal traffic and is discarded — on a healthy mesh the
+    enumeration is exactly the paper's reverse-XY table.
+    """
+
+    def __init__(self, topology: MeshTopology, route_provider=None) -> None:
         self.topology = topology
+        self.route_provider = route_provider
+
+    def set_route_provider(self, provider) -> None:
+        """Track the simulator's live (possibly fault-degraded) routes."""
+        self.route_provider = provider
 
     def _candidates_for_direction(
         self, direction: Direction, victims: set[int]
@@ -92,6 +105,7 @@ class TableLikeMethod:
         if not victims:
             return []
         columns = self.topology.columns
+        provider = self.route_provider
         candidates: list[int] = []
         if direction in (Direction.EAST, Direction.WEST):
             groups: dict[int, list[int]] = {}
@@ -102,7 +116,15 @@ class TableLikeMethod:
             for node in victims:
                 groups.setdefault(node % columns, []).append(node)
         for group in groups.values():
-            candidates.extend(reverse_xy_sources(self.topology, group, direction))
+            for candidate in reverse_xy_sources(self.topology, group, direction):
+                # Traffic observed on a victim's ``direction`` input port
+                # traveled ``direction.opposite`` out of the candidate; a
+                # dead link there rules the candidate out.
+                if provider is not None and not provider.link_is_live(
+                    candidate, direction.opposite
+                ):
+                    continue
+                candidates.append(candidate)
         return candidates
 
     def localize(

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.noc.routing import xy_route_path
+from repro.noc.routing import UnroutableError, xy_route_path
 from repro.noc.topology import Direction, MeshTopology
 
 __all__ = ["estimate_flow_endpoints", "victim_completing_enhancement"]
@@ -77,16 +77,27 @@ def victim_completing_enhancement(
     topology: MeshTopology,
     fused_victims: set[int],
     direction_victims: dict[Direction, set[int]],
+    route_provider=None,
 ) -> set[int]:
-    """Complete the victim set by reverse XY-routing deduction.
+    """Complete the victim set by reverse routing deduction.
 
-    Returns the union of the fused victims and every node on the XY route
-    between each estimated (pseudo source, target victim) pair.
+    Returns the union of the fused victims and every node on the route
+    between each estimated (pseudo source, target victim) pair.  With a
+    ``route_provider`` (degraded mesh) the deduction re-runs the *live*
+    fault-aware routing function instead of XY, so the completed set names
+    the routers the flow actually occupies; endpoint pairs the degraded
+    mesh cannot connect contribute nothing.
     """
     completed = set(fused_victims)
     for source, target in estimate_flow_endpoints(topology, direction_victims):
         if source == target:
             completed.add(source)
             continue
-        completed.update(xy_route_path(topology, source, target))
+        if route_provider is None:
+            completed.update(xy_route_path(topology, source, target))
+        else:
+            try:
+                completed.update(route_provider.route_path(source, target))
+            except UnroutableError:
+                continue
     return completed

@@ -37,7 +37,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.faults.base import clone_sample, node_port_cells
-from repro.faults.monitor import UNOBSERVABLE_KEY
+from repro.faults.monitor import DETOUR_KEY, UNOBSERVABLE_KEY
 from repro.monitor.features import FeatureKind
 from repro.monitor.frames import FrameSample
 from repro.noc.topology import Direction, MeshTopology
@@ -70,6 +70,28 @@ class DegradedModeConfig:
     #: (missed windows cool suspicion like observed-clean windows would,
     #: but a pathological outage must not zero the accumulator in one hit).
     max_gap_decay: int = 8
+    #: Evidence multiplier for **detour carriers** — nodes the data plane
+    #: rerouted traffic onto after a link/router death (the collection layer
+    #: names them in ``metadata["detour_nodes"]``).  Reroute-shifted
+    #: backpressure makes the TLM deduce phantom attackers on the detour
+    #: column with naming trajectories as dense as a real weak colluder's —
+    #: no static weight separates the two — so all evidence against a
+    #: carrier (direct naming and frontier) is scaled by this factor, and
+    #: carriers never engage on raw flag streaks, *unless* the carrier's
+    #: own LOCAL-port telemetry corroborates the accusation (see
+    #: :attr:`detour_injection_factor`).  ``1.0`` disables the discount.
+    detour_discount: float = 0.5
+    #: LOCAL-port injection level — as a multiple of the mesh-wide median —
+    #: at which a detour carrier's telemetry *corroborates* an accusation
+    #: and the window's evidence keeps full weight (discount and streak
+    #: gate both waived for that window).  The LOCAL input port only holds
+    #: a node's own injected flits, so a carrier that merely forwards
+    #: rerouted traffic sits at the benign median while a colluder flooding
+    #: from the detour column runs several multiples above it; the reroute
+    #: can shift what a router *forwards*, never what its PE *injects*.
+    #: Per-window and self-calibrating (the median tracks the live offered
+    #: load), so it holds across mesh sizes and benchmarks.
+    detour_injection_factor: float = 2.0
 
     def __post_init__(self) -> None:
         if self.stuck_after < 2:
@@ -84,6 +106,10 @@ class DegradedModeConfig:
             raise ValueError("stale_window_tolerance must be >= 0")
         if self.max_gap_decay < 0:
             raise ValueError("max_gap_decay must be >= 0")
+        if not 0.0 < self.detour_discount <= 1.0:
+            raise ValueError("detour_discount must be in (0, 1]")
+        if self.detour_injection_factor < 1.0:
+            raise ValueError("detour_injection_factor must be >= 1.0")
 
 
 @dataclass
@@ -96,6 +122,11 @@ class WindowHealth:
     stuck: frozenset
     #: Cells imputed by the plausibility clamp this window.
     imputed_cells: int
+    #: Nodes absorbing rerouted traffic of an active data-plane fault
+    #: (``metadata["detour_nodes"]``).  Their telemetry is *trustworthy* —
+    #: they are not unobservable — but its congestion content is partly
+    #: infrastructure-caused, so the guard discounts evidence against them.
+    detour_carriers: frozenset = frozenset()
 
     @property
     def unobservable(self) -> frozenset:
@@ -104,6 +135,11 @@ class WindowHealth:
 
     @property
     def degraded(self) -> bool:
+        """Whether the *telemetry* of this window was degraded.
+
+        Detour carriers deliberately do not count: a rerouted data plane
+        delivers pristine telemetry about a degraded mesh.
+        """
         return bool(self.unobservable) or self.imputed_cells > 0
 
 
@@ -143,6 +179,9 @@ class WindowSanitizer:
         """Scrub one delivered window; returns (clean sample, health)."""
         declared = frozenset(
             int(node) for node in sample.metadata.get(UNOBSERVABLE_KEY, ())
+        )
+        detour = frozenset(
+            int(node) for node in sample.metadata.get(DETOUR_KEY, ())
         )
         sample = clone_sample(sample)
         imputed = 0
@@ -203,5 +242,6 @@ class WindowSanitizer:
             declared_silent=declared,
             stuck=frozenset(self._stuck),
             imputed_cells=imputed,
+            detour_carriers=detour,
         )
         return sample, health

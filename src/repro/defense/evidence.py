@@ -171,24 +171,59 @@ class EvidenceAccumulator:
         return 0.0
 
     # -- accumulation ---------------------------------------------------------
-    def observe(self, result: LocalizationResult, weight: float) -> list[int]:
+    def observe(
+        self,
+        result: LocalizationResult,
+        weight: float,
+        discounts: dict[int, float] | None = None,
+        promotions: frozenset[int] | None = None,
+    ) -> list[int]:
         """Fold one window's localization into the scores; returns new convictions.
 
         Every call decays all scores once (windows with no evidence still
         cool the accumulator down); ``weight`` scales this window's
-        contributions.
+        contributions.  ``discounts`` scales individual nodes'
+        contributions on *both* channels (direct TLM naming and frontier) —
+        the degraded guard passes the detour-carrier discount here for
+        carriers whose own injection telemetry does not corroborate the
+        accusation, and omits carriers it does corroborate (so a colluder
+        squatting on a detour column still accrues full weight; see
+        :class:`repro.defense.degraded.DegradedModeConfig`).
+
+        ``promotions`` lifts individual nodes' *frontier* contributions to
+        direct-naming weight, and past the under-localization gate.  A
+        frontier candidate is a node the TLM traced abnormal flows through
+        but discarded for sitting inside the fused victim set — ambiguous
+        because its congestion could be forwarded rather than self-made.
+        When independent telemetry resolves that ambiguity (a detour
+        carrier whose LOCAL-port meter shows it injecting well above the
+        mesh median), being traced *is* being named: reroute-shifted
+        phantoms sharing the detour column otherwise both steal the direct
+        namings a real colluder's conviction needs *and* fill the
+        estimated attacker count, closing the ordinary frontier channel in
+        exactly the windows the colluder is traced.
         """
         config = self.config
         self.suspicion *= config.decay
         if weight > 0.0:
             for node in result.attackers:
-                self.suspicion[node] += config.tlm_weight * weight
+                contribution = config.tlm_weight * weight
+                if discounts:
+                    contribution *= discounts.get(node, 1.0)
+                self.suspicion[node] += contribution
             # Under-localized windows spread frontier evidence: somewhere an
             # attacker exists the TLM could not name, and the discarded
             # in-victim-set candidates are where it can hide.
-            if result.estimated_attacker_count > len(result.attackers):
-                for node in result.frontier:
-                    self.suspicion[node] += config.frontier_weight * weight
+            under_localized = result.estimated_attacker_count > len(result.attackers)
+            for node in result.frontier:
+                promoted = bool(promotions) and node in promotions
+                if not under_localized and not promoted:
+                    continue
+                base = config.tlm_weight if promoted else config.frontier_weight
+                contribution = base * weight
+                if discounts:
+                    contribution *= discounts.get(node, 1.0)
+                self.suspicion[node] += contribution
         fresh: list[int] = []
         for node in np.nonzero(self.suspicion >= config.conviction_threshold)[0]:
             node = int(node)

@@ -48,6 +48,7 @@ from repro.defense.degraded import DegradedModeConfig, WindowSanitizer
 from repro.defense.evidence import EvidenceAccumulator, EvidenceConfig
 from repro.defense.policy import MitigationPolicy
 from repro.defense.report import DefenseEvent, DefenseReport, WindowRecord
+from repro.faults.monitor import DETOUR_KEY, LOCAL_BOC_KEY
 from repro.monitor.frames import FrameSample
 from repro.monitor.sampler import GlobalPerformanceMonitor, MonitorConfig
 from repro.noc.simulator import NoCSimulator
@@ -75,10 +76,32 @@ class _EngagedNode:
     previous_limit: float
     engaged_cycle: int
     windows_since_flagged: int = 0
+    #: Shadow counter: estimated residual pressure behind the fence.  A
+    #: quarantined node emits no congestion evidence, so the guard keeps a
+    #: decaying estimate instead — seeded from the node's suspicion at
+    #: engage time, bumped whenever the node is re-flagged while fenced,
+    #: cooled every quiet window.  Release probes go lowest-pressure first.
+    shadow_pressure: float = 0.0
 
 
 class DL2FenceGuard:
     """Attaches DL2Fence to a live simulator and acts on what it localizes."""
+
+    #: PI gains of the adaptive throttle (``MitigationPolicy.adaptive_throttle``):
+    #: the controller tracks a benign recovery ratio of 1.0 against the
+    #: pre-engagement delivery baseline; under-recovery tightens the limit,
+    #: over-recovery relaxes it.
+    _ADAPTIVE_KP = 0.5
+    _ADAPTIVE_KI = 0.1
+    #: Anti-windup clamp on the recovery-error integral.
+    _ADAPTIVE_INTEGRAL_CAP = 5.0
+    #: Adaptive limit bounds, as multiples of ``throttle_factor``.
+    _ADAPTIVE_MIN_SCALE = 0.25
+    _ADAPTIVE_MAX_SCALE = 4.0
+    #: EWMA retention of the pre-engagement benign delivery baseline.
+    _BASELINE_DECAY = 0.8
+    #: Per-window retention of an engaged node's shadow-pressure counter.
+    _SHADOW_DECAY = 0.8
 
     def __init__(
         self,
@@ -156,6 +179,12 @@ class DL2FenceGuard:
         self._last_window_cycle: int | None = None
         self._containment_epoch: int | None = None
         self._last_probe_window: int | None = None
+        # Adaptive-throttle (PI controller) state: the benign delivery
+        # baseline is learned on un-engaged windows, the integral and the
+        # steered limit only live while fences are up.
+        self._baseline_rate: float | None = None
+        self._throttle_integral = 0.0
+        self._adaptive_limit: float | None = None
 
     # -- wiring ------------------------------------------------------------
     def attach(
@@ -210,6 +239,42 @@ class DL2FenceGuard:
         """
         engaged_at_start = bool(self._engaged)
         period = self.report.sample_period
+
+        # Keep localization topology-aware: point the pipeline's TLM/VCE at
+        # the live (possibly fault-degraded) routing function every window,
+        # so a mid-episode link death re-anchors the reverse deduction at
+        # the next sample.  ``None`` on a pristine mesh — a no-op.
+        sync_provider = getattr(self.fence, "set_route_provider", None)
+        if sync_provider is not None:
+            sync_provider(
+                getattr(getattr(simulator, "network", None), "route_provider", None)
+            )
+
+        # Detour carriers of an active data-plane fault: trustworthy
+        # telemetry, but congestion partly caused by the reroute itself.
+        detour: frozenset[int] = frozenset()
+        corroborated: frozenset[int] = frozenset()
+        if self.degraded_config is not None:
+            metadata = getattr(sample, "metadata", None) or {}
+            detour = frozenset(int(node) for node in metadata.get(DETOUR_KEY, ()))
+            # Injection-corroborated carriers: the reroute can shift what a
+            # router forwards, never what its PE injects.  A carrier whose
+            # LOCAL-port activity runs well above the mesh-wide median this
+            # window is injecting a flood of its own, and any accusation
+            # against it keeps full evidence weight — per-window, so one
+            # benign burst never latches an innocent carrier out of the
+            # protections.
+            if detour:
+                local = metadata.get(LOCAL_BOC_KEY)
+                if local:
+                    activity = np.asarray(local, dtype=np.float64)
+                    bar = self.degraded_config.detour_injection_factor * max(
+                        float(np.median(activity)), 1.0
+                    )
+                    corroborated = frozenset(
+                        node for node in detour if activity[node] >= bar
+                    )
+                    detour -= corroborated
 
         # -- degraded-mode preprocessing ----------------------------------
         # Scrub the window against fault signatures (stuck counters,
@@ -288,7 +353,17 @@ class DL2FenceGuard:
                     attackers=[n for n in result.attackers if n not in unobservable],
                     frontier=[n for n in result.frontier if n not in unobservable],
                 )
-            fresh = self.evidence.observe(observed, weight)
+            discounts = (
+                dict.fromkeys(detour, self.degraded_config.detour_discount)
+                if detour and self.degraded_config is not None
+                else None
+            )
+            fresh = self.evidence.observe(
+                observed,
+                weight,
+                discounts=discounts,
+                promotions=corroborated or None,
+            )
             if fresh:
                 self.report.events.append(
                     DefenseEvent(
@@ -305,6 +380,19 @@ class DL2FenceGuard:
             for node in convicted
         )
         flagged = sorted(set(result.attackers).union(convicted) - unobservable)
+        # Detour carriers never engage on raw per-window flag streaks: a
+        # reroute shifts legitimate congestion onto their row/column, so
+        # per-frame naming is expected, not incriminating.  Only a full
+        # cross-window conviction — which discounted evidence cannot
+        # deliver unless the carrier's own injection telemetry lifts the
+        # discount — makes them streak-eligible.  (``detour`` here already
+        # excludes injection-corroborated carriers.)
+        convicted_set = set(convicted)
+        streak_eligible = [
+            node for node in flagged if node not in detour or node in convicted_set
+        ]
+        self._update_shadow_pressure(set(flagged))
+        self._update_adaptive_throttle(window_stats, simulator)
 
         if acted:
             if self._consecutive_detections == 0:
@@ -327,7 +415,7 @@ class DL2FenceGuard:
                 self._flag_streaks.clear()
 
         if acted:
-            self._engage_flagged(flagged, sample.cycle, simulator)
+            self._engage_flagged(streak_eligible, sample.cycle, simulator)
             self._rollback_stale(
                 set(flagged), sample.cycle, simulator, fresh_clock=fresh_clock
             )
@@ -395,14 +483,25 @@ class DL2FenceGuard:
         # the "loudest" attacker of this round.
         eligible.sort(key=lambda item: (-item[1], item[0]))
         newly_engaged = []
+        limit = self._current_limit()
         for node, _streak in eligible[:budget]:
             previous = simulator.network.injection_limit(node)
-            simulator.throttle_node(node, self.policy.injection_limit)
+            simulator.throttle_node(node, limit)
             if self.policy.flush_queue:
                 simulator.network.flush_source_queue(node)
             self._engage_counts[node] = self._engage_counts.get(node, 0) + 1
             self._engaged[node] = _EngagedNode(
-                node=node, previous_limit=previous, engaged_cycle=cycle
+                node=node,
+                previous_limit=previous,
+                engaged_cycle=cycle,
+                # Seed the shadow counter from the suspicion the node built
+                # in the open: the loudest conviction enters quarantine with
+                # the most residual pressure to decay off.
+                shadow_pressure=(
+                    float(self.evidence.suspicion_of(node))
+                    if self.evidence is not None
+                    else 1.0
+                ),
             )
             newly_engaged.append(node)
         if newly_engaged:
@@ -427,7 +526,7 @@ class DL2FenceGuard:
                     cycle=cycle,
                     kind="engaged",
                     nodes=tuple(sorted(newly_engaged)),
-                    detail=f"limit={self.policy.injection_limit:g}",
+                    detail=f"limit={limit:g}",
                     round=self._round,
                 )
             )
@@ -493,7 +592,10 @@ class DL2FenceGuard:
         attacker leaves no evidence, so every release is a probe, and
         releasing all ready nodes at once would restart a distributed flood
         in a single window and forfeit containment.  The least re-engaged
-        node goes first (most likely an innocent), and the policy's
+        node goes first (most likely an innocent), ties broken by the
+        lowest shadow-pressure estimate — the node whose residual pressure
+        behind the fence has decayed furthest is the safest probe — and the
+        policy's
         ``release_probe_spacing`` leaves clean windows between consecutive
         probes so a released attacker's congestion has time to rebuild and
         break the streak before the next fence lifts.
@@ -512,7 +614,14 @@ class DL2FenceGuard:
             < self.policy.release_probe_spacing
         ):
             return
-        probe = min(ready, key=lambda node: (self._engage_counts.get(node, 1), node))
+        probe = min(
+            ready,
+            key=lambda node: (
+                self._engage_counts.get(node, 1),
+                self._engaged[node].shadow_pressure,
+                node,
+            ),
+        )
         self._release_node(probe, simulator)
         self._last_probe_window = self._window_index
         if not self._engaged:
@@ -547,6 +656,88 @@ class DL2FenceGuard:
         simulator.throttle_node(node, state.previous_limit)
         if not self._engaged:
             self._containment_epoch = None
+            # The PI controller's error history belongs to the episode that
+            # just closed; the next engagement starts from the base factor.
+            self._throttle_integral = 0.0
+            self._adaptive_limit = None
+
+    # -- adaptive throttle & shadow counters ----------------------------------
+    def _current_limit(self) -> float:
+        """Injection limit to apply at the next engagement.
+
+        The policy's static limit, unless the adaptive throttle has steered
+        one (throttle action only — quarantine is absolute by definition).
+        """
+        if (
+            self.policy.adaptive_throttle
+            and self.policy.action == "throttle"
+            and self._adaptive_limit is not None
+        ):
+            return self._adaptive_limit
+        return self.policy.injection_limit
+
+    def _update_adaptive_throttle(
+        self, stats: "_WindowStats", simulator: NoCSimulator
+    ) -> None:
+        """One PI step of the adaptive throttle; re-applies the steered limit.
+
+        Un-engaged windows learn the benign delivery baseline (EWMA of
+        benign packets delivered per window).  Engaged windows measure the
+        *fresh* benign delivery — packets created under the fence, the
+        drain-aware recovery signal — against that baseline and steer the
+        limit: under-recovery (error > 0) tightens it below
+        ``throttle_factor``, sustained full recovery relaxes it above, so
+        a mis-fenced innocent wins its bandwidth back without a release.
+        """
+        if not self.policy.adaptive_throttle or self.policy.action != "throttle":
+            return
+        if not self._engaged:
+            rate = float(stats.benign_delivered)
+            if self._baseline_rate is None:
+                self._baseline_rate = rate
+            else:
+                decay = self._BASELINE_DECAY
+                self._baseline_rate = decay * self._baseline_rate + (1.0 - decay) * rate
+            return
+        baseline = self._baseline_rate
+        if not baseline:
+            return
+        # Cap the ratio: a backlog draining out can briefly over-deliver,
+        # and one such burst must not slam the integral.
+        recovery = min(float(stats.fresh_delivered) / baseline, 2.0)
+        error = 1.0 - recovery
+        cap = self._ADAPTIVE_INTEGRAL_CAP
+        self._throttle_integral = float(
+            np.clip(self._throttle_integral + error, -cap, cap)
+        )
+        base = self.policy.throttle_factor
+        limit = base * (
+            1.0
+            - self._ADAPTIVE_KP * error
+            - self._ADAPTIVE_KI * self._throttle_integral
+        )
+        limit = float(
+            np.clip(
+                limit,
+                self._ADAPTIVE_MIN_SCALE * base,
+                min(self._ADAPTIVE_MAX_SCALE * base, 0.95),
+            )
+        )
+        self._adaptive_limit = limit
+        for node in self._engaged:
+            simulator.throttle_node(node, limit)
+
+    def _update_shadow_pressure(self, flagged: set[int]) -> None:
+        """Cool every engaged node's shadow counter; re-heat re-flagged ones.
+
+        Runs every window (detected or clean): pressure is an estimate of
+        what the fence is currently holding back, and quiet windows are the
+        only evidence a quarantined source has actually stopped pushing.
+        """
+        for node, state in self._engaged.items():
+            state.shadow_pressure *= self._SHADOW_DECAY
+            if node in flagged:
+                state.shadow_pressure += 1.0
 
     # -- measurement ----------------------------------------------------------
     def _window_latency(self, simulator: NoCSimulator) -> "_WindowStats":

@@ -422,6 +422,7 @@ class DefenseReport:
                 "reengage_backoff": self.policy.reengage_backoff,
                 "max_engaged_nodes": self.policy.max_engaged_nodes,
                 "release_probe_spacing": self.policy.release_probe_spacing,
+                "adaptive_throttle": self.policy.adaptive_throttle,
             },
             "sample_period": self.sample_period,
             "attack_start": self.attack_start,

@@ -263,12 +263,15 @@ def run_attack_episode(
     set, so ``time_to_full_containment`` demands every position of a
     migrating attacker (and every colluding source) fenced at once.
 
-    ``faults`` installs a monitor-plane fault scenario between the sampler
-    and the guard: the simulated hardware is untouched, but the guard sees
-    the scenario's degraded window stream (dropped/delayed windows, silent
-    or stuck monitors, corrupted cells).  The fault plane is seeded with the
-    episode ``seed``, so a faulted episode is exactly as reproducible as a
-    clean one.  ``degraded`` toggles the guard's window sanitisation.
+    ``faults`` installs a fault scenario on the episode.  Monitor-plane
+    faults sit between the sampler and the guard: the simulated hardware is
+    untouched, but the guard sees the scenario's degraded window stream
+    (dropped/delayed windows, silent or stuck monitors, corrupted cells).
+    Data-plane faults break the mesh itself — links or routers die at
+    their scheduled cycle and traffic detours around them.  The fault plane
+    is seeded with the episode ``seed``, so a faulted episode is exactly as
+    reproducible as a clean one.  ``degraded`` toggles the guard's window
+    sanitisation.
     """
     shape = EpisodeShape.from_windows(
         builder, pre_attack_windows, attack_windows, post_attack_windows
@@ -287,6 +290,7 @@ def run_attack_episode(
     if faults is None:
         guard.attach(simulator, monitor_config=monitor_config)
     else:
+        faults.schedule_data_faults(simulator)
         monitor = GlobalPerformanceMonitor(monitor_config).attach(simulator)
         monitor.set_fault_plane(faults.build_plane(builder.topology, seed=seed))
         guard.attach(simulator, monitor=monitor)
@@ -653,9 +657,18 @@ def run_chaos_matrix(
         for rows, experiment in experiments.items()
     }
     # Fault scenarios are topology-dependent (the silent/stuck node picks
-    # depend on the mesh), so each mesh scale gets its own suite.
+    # depend on the mesh), so each mesh scale gets its own suite.  The
+    # canonical link kill lands three sampling windows into the attack:
+    # mid-episode, after detection has had a fault-free shot, with most of
+    # the attack still ahead on the degraded mesh.
     fault_suites = {
-        rows: default_fault_suite(experiment.dataset_config().topology())
+        rows: default_fault_suite(
+            experiment.dataset_config().topology(),
+            link_kill_cycle=(
+                experiment.dataset_config().warmup_cycles
+                + 7 * experiment.sample_period
+            ),
+        )
         for rows, experiment in experiments.items()
     }
     if fault_scenarios is None:

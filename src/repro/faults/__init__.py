@@ -21,6 +21,7 @@ from repro.faults.base import (
     clone_sample,
     node_port_cells,
 )
+from repro.faults.data import DataFaultModel, DeadLinkFault, DeadRouterFault
 from repro.faults.monitor import (
     UNOBSERVABLE_KEY,
     CorruptedFrameFault,
@@ -34,10 +35,13 @@ from repro.faults.runtime import (
     InjectedWorkerCrash,
     WorkerChaosFault,
 )
-from repro.noc.topology import MeshTopology
+from repro.noc.topology import Direction, MeshTopology
 
 __all__ = [
     "FAULT_LIBRARY",
+    "DataFaultModel",
+    "DeadLinkFault",
+    "DeadRouterFault",
     "FaultModel",
     "FaultPlane",
     "FaultScenario",
@@ -54,6 +58,7 @@ __all__ = [
     "UNOBSERVABLE_KEY",
     "clone_sample",
     "node_port_cells",
+    "dead_link_for",
     "default_fault_suite",
     "silent_node_for",
     "stuck_node_for",
@@ -70,6 +75,8 @@ FAULT_LIBRARY: dict[str, type[FaultModel]] = {
         CorruptedFrameFault,
         WorkerChaosFault,
         CacheCorruptionFault,
+        DeadLinkFault,
+        DeadRouterFault,
     )
 }
 
@@ -96,18 +103,50 @@ def stuck_node_for(topology: MeshTopology) -> int:
     return topology.node_id(x, y)
 
 
-def default_fault_suite(topology: MeshTopology) -> dict[str, FaultScenario]:
+def dead_link_for(topology: MeshTopology) -> int:
+    """Canonical dead-link placement: the NORTH link out of this node.
+
+    Column 2 sits off every canonical attack row/column at all supported
+    scales (attack rows 1, ``rows//2`` and ``rows - 2``, columns 1,
+    ``columns//2`` and ``columns - 2`` never own this vertical segment), so
+    killing the link reroutes *benign* traffic while the refined-DoS flows
+    keep their fault-free XY paths — the chaos matrix then measures
+    detection and containment on a degraded mesh without the fault
+    masking or rerouting the attack itself.  The west-first detour around
+    the cut prefers the EAST side (ascending tie-break), i.e. the quiet
+    column 3, not the flooded column 1.  Small meshes clamp toward the
+    origin while keeping the link on the mesh.
+    """
+    x = min(2, topology.columns - 1)
+    y = min(2, max(topology.rows - 2, 0))
+    return topology.node_id(x, y)
+
+
+def default_fault_suite(
+    topology: MeshTopology, link_kill_cycle: int = 0
+) -> dict[str, FaultScenario]:
     """The named fault scenarios of the chaos matrix's fault axis.
 
     ``dropout_silent`` is the acceptance gate: >=10% monitor-window dropout
     *plus* one silent monitor node, under which all five refined-DoS
     variants must stay contained with zero fault-node convictions.
+
+    ``link_faults`` is the data-plane gate: the canonical mesh link dies at
+    ``link_kill_cycle`` (0 = before the first cycle; the chaos matrix
+    passes a mid-attack cycle), traffic detours around the cut, and the
+    guard must keep containing the attack with zero collateral — including
+    zero convictions of the detour carriers newly absorbing rerouted load.
     """
     silent = SilentMonitorFault(node=silent_node_for(topology))
     stuck = StuckCounterFault(node=stuck_node_for(topology))
     dropout = DroppedWindowFault(probability=0.125, seed=7)
     corrupt = CorruptedFrameFault(cell_probability=0.02, seed=11)
     delay = DelayedWindowFault(probability=0.2, delay_windows=2, seed=13)
+    dead_link = DeadLinkFault(
+        node=dead_link_for(topology),
+        direction=Direction.NORTH,
+        start_cycle=int(link_kill_cycle),
+    )
     return {
         "none": FaultScenario(name="none"),
         "dropout": FaultScenario(name="dropout", monitor_faults=(dropout,)),
@@ -118,4 +157,7 @@ def default_fault_suite(topology: MeshTopology) -> dict[str, FaultScenario]:
         "stuck": FaultScenario(name="stuck", monitor_faults=(stuck,)),
         "corrupt": FaultScenario(name="corrupt", monitor_faults=(corrupt,)),
         "delay": FaultScenario(name="delay", monitor_faults=(delay,)),
+        "link_faults": FaultScenario(
+            name="link_faults", data_faults=(dead_link,)
+        ),
     }

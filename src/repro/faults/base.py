@@ -180,15 +180,18 @@ class FaultPlane:
 
 @dataclass(frozen=True)
 class FaultScenario:
-    """A named, cache-hashable composition of monitor-plane fault models.
+    """A named, cache-hashable composition of fault models.
 
     The unit of the chaos matrix's fault axis: a scenario is to faults what
     an :class:`~repro.attacks.AttackModel` is to attacks — frozen,
-    declarative, and hashed directly into episode cache keys.
+    declarative, and hashed directly into episode cache keys.  It may mix
+    monitor-plane faults (degraded telemetry) with data-plane faults (dead
+    links / routers, see :mod:`repro.faults.data`).
     """
 
     name: str
     monitor_faults: tuple = ()
+    data_faults: tuple = ()
 
     def build_plane(self, topology: MeshTopology, seed: int = 0) -> FaultPlane | None:
         """The monitor fault plane for one episode (None = fault-free)."""
@@ -201,14 +204,35 @@ class FaultScenario:
             ]
         )
 
+    def schedule_data_faults(self, simulator) -> None:
+        """Register the scenario's link/router kills on a simulator.
+
+        Each data fault activates atomically at the start of its
+        ``start_cycle`` via ``simulator.schedule_data_fault``; a scenario
+        without data faults is a no-op.
+        """
+        for model in self.data_faults:
+            simulator.schedule_data_fault(
+                max(int(model.start_cycle), simulator.cycle),
+                dead_links=model.dead_links(simulator.topology),
+                dead_routers=model.dead_routers(simulator.topology),
+            )
+
     def affected_nodes(self, topology: MeshTopology) -> frozenset[int]:
-        """Every node any fault of the scenario specifically degrades."""
+        """Every node any fault of the scenario specifically degrades.
+
+        For data-plane faults this includes the detour carriers of the
+        reroute — none of these nodes is ever a legitimate fence target.
+        """
         nodes: frozenset[int] = frozenset()
         for model in self.monitor_faults:
+            nodes |= model.affected_nodes(topology)
+        for model in self.data_faults:
             nodes |= model.affected_nodes(topology)
         return nodes
 
     def describe(self) -> str:
-        if not self.monitor_faults:
+        models = tuple(self.monitor_faults) + tuple(self.data_faults)
+        if not models:
             return "fault-free"
-        return " + ".join(model.describe() for model in self.monitor_faults)
+        return " + ".join(model.describe() for model in models)

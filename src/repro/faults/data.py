@@ -1,0 +1,112 @@
+"""Data-plane fault models: dead links and dead routers.
+
+Unlike the monitor-plane faults of :mod:`repro.faults.monitor` — which
+corrupt the *telemetry* while the simulated hardware keeps working — these
+faults break the mesh itself.  A dead link (or a dead router, which kills
+every link incident to it) is applied to the simulator mid-episode via
+:meth:`~repro.noc.simulator.NoCSimulator.schedule_data_fault`: the backend
+installs a fault-aware :class:`~repro.noc.route_provider.RouteProvider`,
+excises in-flight packets stranded by the kill, and reroutes all surviving
+traffic along deadlock-free west-first detours.
+
+Both models are frozen, seed-free and cache-hashable, so a
+:class:`~repro.faults.base.FaultScenario` carrying them hashes into episode
+cache keys exactly like its monitor-plane siblings.  ``affected_nodes``
+deliberately includes the *detour carriers* — the innocent nodes that newly
+carry rerouted traffic — because the chaos matrix's zero-collateral gate
+must also prove the guard never convicts a node merely for absorbing a
+detour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.base import FaultModel
+from repro.noc.topology import Direction, MeshTopology
+
+__all__ = ["DataFaultModel", "DeadLinkFault", "DeadRouterFault"]
+
+
+class DataFaultModel(FaultModel):
+    """A fault that degrades the mesh's data plane (links / routers)."""
+
+    plane: str = "data"
+    #: Simulation cycle at which the fault strikes (0 = before first cycle).
+    start_cycle: int = 0
+
+    def dead_links(self, topology: MeshTopology) -> tuple:
+        """``(node, Direction)`` pairs of the physical links this fault kills."""
+        return ()
+
+    def dead_routers(self, topology: MeshTopology) -> tuple:
+        """Node ids of the routers this fault kills."""
+        return ()
+
+    def affected_nodes(self, topology: MeshTopology) -> frozenset[int]:
+        """Fault endpoints plus every detour carrier of the reroute.
+
+        Builds a single-fault :class:`~repro.noc.route_provider.RouteProvider`
+        to enumerate the nodes that newly carry traffic XY would have routed
+        elsewhere — the chaos matrix treats all of them as
+        never-legitimate fence targets.
+        """
+        from repro.noc.route_provider import RouteProvider
+
+        provider = RouteProvider(
+            topology,
+            dead_links=self.dead_links(topology),
+            dead_routers=self.dead_routers(topology),
+        )
+        endpoints: set[int] = set(int(node) for node in provider.dead_routers)
+        for node, _direction in provider.dead_links:
+            endpoints.add(int(node))
+        return frozenset(endpoints) | provider.detour_nodes
+
+
+@dataclass(frozen=True)
+class DeadLinkFault(DataFaultModel):
+    """One bidirectional mesh link goes dark mid-episode.
+
+    ``node``/``direction`` name the physical link (either endpoint works —
+    the provider normalizes to both directed halves).  Traffic that XY
+    would have pushed across the link detours around it under the
+    west-first turn model; in-flight packets whose wormhole binding or
+    travel state is stranded by the kill are excised at activation.
+    """
+
+    node: int
+    direction: Direction
+    start_cycle: int = 0
+
+    name = "dead-link"
+
+    def dead_links(self, topology: MeshTopology) -> tuple:
+        return ((self.node, self.direction),)
+
+    def describe(self) -> str:
+        return (
+            f"link {self.node}->{self.direction.name} dead "
+            f"from cycle {self.start_cycle}"
+        )
+
+
+@dataclass(frozen=True)
+class DeadRouterFault(DataFaultModel):
+    """A whole router (crossbar and all incident links) dies mid-episode.
+
+    Nothing can transit, enter or leave the node afterwards: packets
+    sourced at or destined to it are dropped as unroutable, and through
+    traffic detours around it.
+    """
+
+    node: int
+    start_cycle: int = 0
+
+    name = "dead-router"
+
+    def dead_routers(self, topology: MeshTopology) -> tuple:
+        return (self.node,)
+
+    def describe(self) -> str:
+        return f"router {self.node} dead from cycle {self.start_cycle}"

@@ -46,10 +46,29 @@ __all__ = [
     "DelayedWindowFault",
     "CorruptedFrameFault",
     "UNOBSERVABLE_KEY",
+    "DETOUR_KEY",
+    "LOCAL_BOC_KEY",
 ]
 
 #: Metadata key carrying collection-layer-declared unobservable nodes.
 UNOBSERVABLE_KEY = "unobservable_nodes"
+
+#: Metadata key carrying the detour carriers of an active data-plane fault:
+#: nodes newly absorbing traffic that fault-free XY routed elsewhere.  The
+#: sampler annotates it from the simulator's route provider; the degraded
+#: guard discounts evidence against these nodes (their congestion is
+#: infrastructure-caused, not attacker-caused).
+DETOUR_KEY = "detour_nodes"
+
+#: Metadata key carrying per-node LOCAL-port buffer-operation counts for the
+#: window (a tuple indexed by node id).  The LOCAL input port only ever
+#: holds the node's *own* injected flits, so this is a per-router injection
+#: activity meter the four directional frames never expose.  The sampler
+#: annotates it whenever a data-plane fault has live detour carriers; the
+#: degraded guard uses it to separate a carrier that merely forwards
+#: rerouted traffic (discounted) from one injecting a flood of its own
+#: (full evidence weight — a colluder squatting on a detour column).
+LOCAL_BOC_KEY = "local_boc"
 
 
 def _mark_unobservable(sample: FrameSample, node: int) -> None:

@@ -144,6 +144,32 @@ class GlobalPerformanceMonitor:
             boc=FrameSet(kind=FeatureKind.BOC, frames=boc_frames, cycle=cycle),
             attack_active=attack_active,
         )
+        # Data-plane fault annotation: with links/routers dead, declare the
+        # dead routers unobservable (their monitors died with them) and name
+        # the detour carriers so the degraded guard can discount the
+        # infrastructure-caused congestion shift.  Annotated at the
+        # simulator level, so both backends emit identical metadata.
+        provider = getattr(network, "route_provider", None)
+        if provider is not None:
+            from repro.faults.monitor import (
+                DETOUR_KEY,
+                LOCAL_BOC_KEY,
+                UNOBSERVABLE_KEY,
+            )
+
+            if provider.detour_nodes:
+                sample.metadata[DETOUR_KEY] = tuple(sorted(provider.detour_nodes))
+                # Carrier/injector discrimination telemetry: per-node
+                # LOCAL-port buffer operations this window.  Captured
+                # before the BOC reset below, identically on every
+                # backend (the counters are part of the fingerprint).
+                local = getattr(network, "local_boc", None)
+                if local is not None:
+                    sample.metadata[LOCAL_BOC_KEY] = tuple(local())
+            if provider.dead_routers:
+                unobservable = set(sample.metadata.get(UNOBSERVABLE_KEY, ()))
+                unobservable.update(int(node) for node in provider.dead_routers)
+                sample.metadata[UNOBSERVABLE_KEY] = tuple(sorted(unobservable))
         # BOC counters reset unconditionally: the hardware window restarts
         # whether or not the *transport* of this window's report survives
         # the fault plane below.

@@ -26,6 +26,7 @@ from typing import Callable
 import numpy as np
 
 from repro.noc.backend import resolve_backend
+from repro.noc.route_provider import RouteProvider
 from repro.noc.simulator import SimulationConfig, TrafficSource
 from repro.noc.soa_batch import BatchedSoAMeshNetwork, SoAMeshLane
 from repro.noc.stats import LatencyStats
@@ -130,15 +131,84 @@ class BatchedNoCSimulator:
             LaneSimulator(self, index) for index in range(self.episodes)
         ]
         self.cycle = 0
+        self._pending_data_faults: list[tuple[int, tuple, tuple]] = []
+        self._dead_links: set = set()
+        self._dead_routers: set = set()
 
     def lane(self, index: int) -> LaneSimulator:
         """The per-episode simulator view of episode ``index``."""
         return self.lanes[index]
 
+    # -- data-plane fault hooks ----------------------------------------------
+    def schedule_data_fault(
+        self, cycle: int, dead_links=(), dead_routers=()
+    ) -> None:
+        """Kill links/routers at the start of ``cycle`` — in *every* episode.
+
+        Mirrors :meth:`NoCSimulator.schedule_data_fault`; the batched
+        network applies the same degraded route tables to each episode
+        block, so a lane stays fingerprint-identical to a solo run with the
+        same fault schedule.
+        """
+        if cycle < self.cycle:
+            raise ValueError(
+                f"cannot schedule a fault at past cycle {cycle} "
+                f"(current cycle {self.cycle})"
+            )
+        self._pending_data_faults.append(
+            (cycle, tuple(dead_links), tuple(dead_routers))
+        )
+        self._pending_data_faults.sort(key=lambda item: item[0])
+
+    def inject_data_fault(self, dead_links=(), dead_routers=()) -> int:
+        """Apply a link/router kill to every episode immediately."""
+        self._dead_links.update(
+            (int(node), direction) for node, direction in dead_links
+        )
+        self._dead_routers.update(int(node) for node in dead_routers)
+        provider = RouteProvider(
+            self.topology,
+            dead_links=tuple(self._dead_links),
+            dead_routers=tuple(self._dead_routers),
+        )
+        return self.network.apply_data_faults(provider)
+
+    @property
+    def route_provider(self):
+        """Active fault-aware route provider (None on a healthy mesh)."""
+        return self.network.route_provider
+
+    @property
+    def dead_links(self) -> frozenset:
+        """Directed dead links of the active fault set (normalized)."""
+        provider = self.network.route_provider
+        return provider.dead_links if provider is not None else frozenset()
+
+    @property
+    def dead_routers(self) -> frozenset:
+        """Dead routers of the active fault set."""
+        provider = self.network.route_provider
+        return provider.dead_routers if provider is not None else frozenset()
+
+    def _activate_due_faults(self, cycle: int) -> None:
+        pending = self._pending_data_faults
+        due = [fault for fault in pending if fault[0] <= cycle]
+        if not due:
+            return
+        self._pending_data_faults = [f for f in pending if f[0] > cycle]
+        links: list = []
+        routers: list = []
+        for _, dead_links, dead_routers in due:
+            links.extend(dead_links)
+            routers.extend(dead_routers)
+        self.inject_data_fault(dead_links=links, dead_routers=routers)
+
     # -- execution ----------------------------------------------------------
     def step(self) -> None:
         """Advance every episode by a single cycle."""
         cycle = self.cycle
+        if self._pending_data_faults:
+            self._activate_due_faults(cycle)
         self._ingress(cycle)
         self.network.step(cycle)
         post_warmup = cycle - self.config.warmup_cycles

@@ -6,7 +6,7 @@ from collections import deque
 
 from repro.noc.packet import Flit, Packet
 from repro.noc.router import Router, VirtualChannel
-from repro.noc.routing import xy_next_direction
+from repro.noc.routing import UnroutableError, xy_next_direction
 from repro.noc.stats import NetworkStats
 from repro.noc.topology import Direction, MeshTopology
 
@@ -74,6 +74,129 @@ class MeshNetwork:
         self._injection_allowance: list[float] = [0.0] * topology.num_nodes
         self.stats = NetworkStats()
         self.dropped_packets = 0
+        # Data-plane fault state (dead links/routers).  None on a healthy
+        # mesh, so the fault-free allocator keeps the plain XY path.
+        self._route_provider = None
+        self._routable_start = None
+        self.killed_packets = 0
+        self.unroutable_packets = 0
+
+    # -- data-plane faults (dead links / routers) ----------------------------
+    @property
+    def route_provider(self):
+        """The active fault-aware route provider (None on a healthy mesh)."""
+        return self._route_provider
+
+    def apply_data_faults(self, provider) -> int:
+        """Install a degraded :class:`~repro.noc.route_provider.RouteProvider`.
+
+        The object-graph mirror of ``SoAMeshNetwork.apply_data_faults``:
+        dead down-links are unwired, doomed in-flight packets are excised
+        wholesale (administrative purge — no buffer-read/BOC accounting),
+        stale cached output directions of unbound VCs are cleared so the
+        next allocation consults the provider, and freshly queued packets
+        are gated by start-state routability.  Returns the number of
+        in-flight packets killed (also accumulated on ``killed_packets``).
+        """
+        self._route_provider = provider
+        self._routable_start = provider.routable_from_start
+        for router in self.routers:
+            for direction in list(router.down_ports):
+                if not provider.link_is_live(router.node_id, direction):
+                    del router.down_ports[direction]
+        doomed = self._excise_doomed(provider)
+        self._purge_unroutable_queued(doomed)
+        self.killed_packets += len(doomed)
+        return len(doomed)
+
+    def _excise_doomed(self, provider) -> set[int]:
+        """Doom and clear in-flight packets stranded by the new fault set.
+
+        A packet is doomed when any of its VCs sits in a dead router, any of
+        its wormhole bindings crosses a dead link, or its head flit's
+        ``(node, travel-state)`` can no longer reach the destination under
+        the turn model (same three rules as the SoA backend).
+        """
+        doomed: set[int] = set()
+        for router in self.routers:
+            dead_router = router.node_id in provider.dead_routers
+            for port in router.input_ports.values():
+                for vc in port.vcs:
+                    pid = vc.allocated_packet
+                    if pid is None:
+                        continue
+                    if dead_router:
+                        doomed.add(pid)
+                        continue
+                    if vc.downstream_vc is not None and not provider.link_is_live(
+                        router.node_id, vc.output_direction
+                    ):
+                        doomed.add(pid)
+                        continue
+                    flit = vc.peek()
+                    if flit is not None and flit.is_head:
+                        travel = (
+                            None
+                            if port.direction is Direction.LOCAL
+                            else port.direction.opposite
+                        )
+                        try:
+                            provider.next_direction(
+                                router.node_id, flit.destination, travel
+                            )
+                        except UnroutableError:
+                            doomed.add(pid)
+        for router in self.routers:
+            for port in router.input_ports.values():
+                for vc in port.vcs:
+                    if vc.allocated_packet is None:
+                        continue
+                    if vc.allocated_packet in doomed:
+                        # Whole-VC clears are exact: a VC only ever holds
+                        # flits of its single allocated packet.
+                        flits = len(vc.flits)
+                        vc.flits.clear()
+                        vc.allocated_packet = None
+                        vc.output_direction = None
+                        vc.downstream_vc = None
+                        port.occupied_vcs -= 1
+                        port.buffered_flits -= flits
+                        router.buffered_flits -= flits
+                    elif vc.downstream_vc is None:
+                        # Surviving unbound front: drop the cached direction
+                        # so the next allocation re-routes via the provider
+                        # (bound VCs keep following their wormhole binding).
+                        vc.output_direction = None
+        return doomed
+
+    def _purge_unroutable_queued(self, doomed: set[int]) -> None:
+        """Drop doomed remnants and START-unroutable packets from the source
+        queues (continuation flits of *surviving* partially injected packets
+        stay, mirroring :meth:`flush_source_queue`)."""
+        routable = self._routable_start
+        for node in list(self._queued_nodes):
+            queue = self.source_queues[node]
+            kept: list[Flit] = []
+            dropped_fresh: set[int] = set()
+            for flit in queue:
+                packet = flit.packet
+                if packet.packet_id in doomed:
+                    continue
+                if packet.injected_cycle is None and not routable[
+                    node, packet.destination
+                ]:
+                    dropped_fresh.add(packet.packet_id)
+                    continue
+                kept.append(flit)
+            if len(kept) == len(queue):
+                continue
+            queue.clear()
+            queue.extend(kept)
+            if dropped_fresh:
+                self.dropped_packets += len(dropped_fresh)
+                self.unroutable_packets += len(dropped_fresh)
+            if not queue:
+                self._queued_nodes.discard(node)
 
     # -- injection interface ------------------------------------------------
     def enqueue_packet(self, packet: Packet) -> bool:
@@ -81,8 +204,15 @@ class MeshNetwork:
 
         Returns False (and counts a drop) when the source queue is already at
         capacity — this models the saturation / "system crashed" regime the
-        paper reaches at FIR = 1.
+        paper reaches at FIR = 1 — or when no route to the destination
+        survives the active fault set.
         """
+        if self._routable_start is not None and not self._routable_start[
+            packet.source, packet.destination
+        ]:
+            self.dropped_packets += 1
+            self.unroutable_packets += 1
+            return False
         queue = self.source_queues[packet.source]
         if len(queue) + packet.size_flits > self.source_queue_capacity:
             self.dropped_packets += 1
@@ -259,9 +389,19 @@ class MeshNetwork:
                         continue
                     out_dir = vc.output_direction
                     if out_dir is None:
-                        out_dir = xy_next_direction(
-                            self.topology, router.node_id, flit.destination
-                        )
+                        if self._route_provider is None:
+                            out_dir = xy_next_direction(
+                                self.topology, router.node_id, flit.destination
+                            )
+                        else:
+                            travel = (
+                                None
+                                if port.direction is Direction.LOCAL
+                                else port.direction.opposite
+                            )
+                            out_dir = self._route_provider.next_direction(
+                                router.node_id, flit.destination, travel
+                            )
                         vc.output_direction = out_dir
                     if out_dir in used_outputs:
                         continue
@@ -270,8 +410,10 @@ class MeshNetwork:
                         used_outputs.add(out_dir)
                         continue
                     down_port = router.down_ports.get(out_dir)
-                    if down_port is None:  # pragma: no cover - defensive
-                        continue
+                    if down_port is None:  # pragma: no cover - excision invariant
+                        raise RuntimeError(
+                            "unroutable head reached the switch allocator"
+                        )
                     down_vc = vc.downstream_vc
                     if down_vc is None or not flit.is_head:
                         if flit.is_head:
@@ -350,6 +492,20 @@ class MeshNetwork:
         """Reset every router's BOC accumulators (one sampling window ends)."""
         for router in self.routers:
             router.reset_counters()
+
+    def local_boc(self) -> list[int]:
+        """Per-node LOCAL-port BOC accumulated this sampling window.
+
+        The LOCAL input port only ever holds flits the node's own PE
+        injected, so its buffer-operation count is a router-local injection
+        activity meter — telemetry the directional frames (which read only
+        the four mesh-facing ports) never expose.  The degraded guard uses
+        it to tell a detour carrier that merely *forwards* rerouted traffic
+        from one that injects a flood of its own.
+        """
+        return [
+            router.boc(Direction.LOCAL) for router in self.routers
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -18,11 +18,31 @@ from __future__ import annotations
 from repro.noc.topology import Direction, MeshTopology
 
 __all__ = [
+    "UnroutableError",
     "xy_next_direction",
     "xy_route_path",
     "xy_route_victims",
     "reverse_xy_sources",
 ]
+
+
+class UnroutableError(RuntimeError):
+    """No legal route exists between two nodes.
+
+    Raised instead of silently mis-stepping or looping: on the full mesh XY
+    always terminates, but once links or routers die (see
+    :mod:`repro.noc.route_provider`) a destination can become unreachable,
+    and every consumer — both simulator backends, the TLM route
+    enumeration, the VCE — must see the same loud failure.
+    """
+
+    def __init__(self, source: int, destination: int, detail: str = "") -> None:
+        message = f"no route from node {source} to node {destination}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+        self.source = source
+        self.destination = destination
 
 
 def xy_next_direction(topology: MeshTopology, current: int, destination: int) -> Direction:
@@ -56,13 +76,11 @@ def xy_route_path(topology: MeshTopology, source: int, destination: int) -> list
             break
         nxt = topology.neighbor(current, direction)
         if nxt is None:  # pragma: no cover - unreachable on a mesh
-            raise RuntimeError(f"XY routing fell off the mesh at node {current}")
+            raise UnroutableError(source, destination, f"fell off the mesh at {current}")
         path.append(nxt)
         current = nxt
     if path[-1] != destination:  # pragma: no cover - defensive
-        raise RuntimeError(
-            f"XY routing failed to reach {destination} from {source}: {path}"
-        )
+        raise UnroutableError(source, destination, f"stalled on path {path}")
     return path
 
 

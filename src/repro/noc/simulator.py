@@ -14,6 +14,7 @@ from typing import Callable, Iterable, Protocol
 
 from repro.noc.backend import BACKENDS, build_network, resolve_backend
 from repro.noc.packet import Packet
+from repro.noc.route_provider import RouteProvider
 from repro.noc.stats import LatencyStats
 from repro.noc.topology import MeshTopology
 
@@ -92,6 +93,11 @@ class NoCSimulator:
         # transfer, one vectorized hand-off per source replaces the
         # per-packet enqueue loop (same packets, same RNG stream).
         self._batch_ingress = hasattr(self.network, "enqueue_batch")
+        # Data-plane faults: scheduled (cycle, dead_links, dead_routers)
+        # activations plus the accumulated fault set already applied.
+        self._pending_data_faults: list[tuple[int, tuple, tuple]] = []
+        self._dead_links: set = set()
+        self._dead_routers: set = set()
 
     # -- wiring ------------------------------------------------------------
     def add_source(self, source: TrafficSource) -> None:
@@ -127,10 +133,81 @@ class NoCSimulator:
         """Nodes currently throttled or quarantined."""
         return self.network.restricted_nodes
 
+    # -- data-plane fault hooks ------------------------------------------------
+    def schedule_data_fault(
+        self, cycle: int, dead_links=(), dead_routers=()
+    ) -> None:
+        """Kill links/routers at the start of ``cycle`` (permanently).
+
+        ``dead_links`` holds ``(node, Direction)`` pairs naming a physical
+        (bidirectional) link; ``dead_routers`` holds node ids.  Faults
+        accumulate: each activation rebuilds one
+        :class:`~repro.noc.route_provider.RouteProvider` over the union of
+        everything dead so far and installs it on the backend, which excises
+        doomed in-flight packets atomically (see ``apply_data_faults``).
+        """
+        if cycle < self.cycle:
+            raise ValueError(
+                f"cannot schedule a fault at past cycle {cycle} "
+                f"(current cycle {self.cycle})"
+            )
+        self._pending_data_faults.append(
+            (cycle, tuple(dead_links), tuple(dead_routers))
+        )
+        self._pending_data_faults.sort(key=lambda item: item[0])
+
+    def inject_data_fault(self, dead_links=(), dead_routers=()) -> int:
+        """Apply a link/router kill immediately (between cycles).
+
+        Returns the number of in-flight packets excised.
+        """
+        self._dead_links.update(
+            (int(node), direction) for node, direction in dead_links
+        )
+        self._dead_routers.update(int(node) for node in dead_routers)
+        provider = RouteProvider(
+            self.topology,
+            dead_links=tuple(self._dead_links),
+            dead_routers=tuple(self._dead_routers),
+        )
+        return self.network.apply_data_faults(provider)
+
+    @property
+    def route_provider(self):
+        """Active fault-aware route provider (None on a healthy mesh)."""
+        return self.network.route_provider
+
+    @property
+    def dead_links(self) -> frozenset:
+        """Directed dead links of the active fault set (normalized)."""
+        provider = self.network.route_provider
+        return provider.dead_links if provider is not None else frozenset()
+
+    @property
+    def dead_routers(self) -> frozenset:
+        """Dead routers of the active fault set."""
+        provider = self.network.route_provider
+        return provider.dead_routers if provider is not None else frozenset()
+
+    def _activate_due_faults(self, cycle: int) -> None:
+        pending = self._pending_data_faults
+        due = [fault for fault in pending if fault[0] <= cycle]
+        if not due:
+            return
+        self._pending_data_faults = [f for f in pending if f[0] > cycle]
+        links: list = []
+        routers: list = []
+        for _, dead_links, dead_routers in due:
+            links.extend(dead_links)
+            routers.extend(dead_routers)
+        self.inject_data_fault(dead_links=links, dead_routers=routers)
+
     # -- execution ------------------------------------------------------------
     def step(self) -> None:
         """Advance the simulation by a single cycle."""
         cycle = self.cycle
+        if self._pending_data_faults:
+            self._activate_due_faults(cycle)
         network = self.network
         batch_ingress = self._batch_ingress
         for source in self.sources:

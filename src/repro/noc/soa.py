@@ -355,6 +355,18 @@ class SoAMeshNetwork:
         self._pkt_injected = _GrowableInt()
         self._flit_templates: dict[int, np.ndarray] = {}
 
+        # Data-plane fault state (dead links/routers).  Fault-free networks
+        # keep every one of these untouched, so the hot path is unchanged:
+        # ``_dynamic_routes`` stays False and the kernels take the exact
+        # pre-existing XY table / on-the-fly branches.
+        self._dynamic_routes = False
+        self._route_provider = None
+        self._route3 = None  # (num_nodes * 5 * num_nodes,) int8, flattened
+        self._routable_start = None  # (num_nodes, num_nodes) bool
+        self._q_state_base = None
+        self.killed_packets = 0
+        self.unroutable_packets = 0
+
     def _install_tables(self) -> None:
         """Bind the static lookup tables and the state-array node count.
 
@@ -376,6 +388,147 @@ class SoAMeshNetwork:
         # episode-local slot ids).
         self._q_slot_off = None
         self._array_nodes = self.topology.num_nodes
+
+    # -- data-plane faults (dead links / routers) ----------------------------
+    @property
+    def route_provider(self):
+        """The active fault-aware route provider (None on a healthy mesh)."""
+        return self._route_provider
+
+    def apply_data_faults(self, provider) -> int:
+        """Install a degraded :class:`~repro.noc.route_provider.RouteProvider`.
+
+        Runs atomically between cycles: the state-aware route table replaces
+        the XY one, freshly queued packets are gated by start-state
+        routability, and every *doomed* in-flight packet is excised wholesale
+        — a packet is doomed when any of its VCs sits in a dead router, any
+        of its wormhole bindings crosses a dead link, or its head flit's
+        ``(node, travel-state)`` can no longer reach the destination under
+        the turn model.  After excision the switch kernel never sees an
+        unroutable head, so the per-cycle path needs no failure handling.
+
+        Returns the number of in-flight packets killed (also accumulated on
+        ``killed_packets``).  The batched subclass applies the same faults
+        to every episode block.
+        """
+        self._route_provider = provider
+        self._route3 = np.ascontiguousarray(provider.route_table3.reshape(-1))
+        self._routable_start = provider.routable_from_start
+        self._install_dynamic_tables()
+        self._dynamic_routes = True
+        killed = self._excise_doomed(provider)
+        self._purge_unroutable_queued(provider, self._doomed_pids)
+        self.killed_packets += killed
+        return killed
+
+    def _install_dynamic_tables(self) -> None:
+        """Per-VC base index into the flattened state-aware route table.
+
+        ``_q_state_base[q] + dest`` lands on ``route3[(node*5 + in_state),
+        dest_local]``: the in-state of a VC is the travel direction of the
+        hop that filled it (the opposite of its input-port direction; START
+        for the LOCAL port).  Written against episode-local node ids so the
+        same expression serves the batched disjoint union (the episode bias
+        cancels against the global destination id, as for ``q_node_base``).
+        """
+        n = self.topology.num_nodes
+        q = np.arange(self._array_nodes * 5 * self.num_vcs, dtype=np.int64)
+        port_dir = (q // self.num_vcs) % 5
+        state = self._tables.opposite[port_dir]
+        episode = self._q_node // n
+        local_node = self._q_node - episode * n
+        self._q_state_base = (local_node * 5 + state) * n - episode * n
+
+    def _excise_doomed(self, provider) -> int:
+        """Clear every VC of every doomed in-flight packet (administrative
+        purge: no buffer-read/BOC accounting, identical in both backends)."""
+        self._doomed_pids = np.empty(0, dtype=np.int64)
+        n = self.topology.num_nodes
+        num_vcs = self.num_vcs
+        alloc = self._vc_alloc
+        active = np.nonzero(alloc >= 0)[0]
+        if active.size == 0:
+            return 0
+        q_node = self._q_node[active]
+        episode = q_node // n
+        local_node = q_node - episode * n
+        port_dir = self._q_port[active] % 5
+        state = self._tables.opposite[port_dir]
+        pid = alloc[active].astype(np.int64)
+        dest_local = self._pkt_dest.values[pid] - episode * n
+
+        doomed = np.zeros(active.size, dtype=bool)
+        if provider.dead_routers:
+            dead_router = np.zeros(n, dtype=bool)
+            dead_router[sorted(provider.dead_routers)] = True
+            doomed |= dead_router[local_node]
+        cached = self._vc_down[active]
+        bound = np.nonzero(cached >= 0)[0]
+        if bound.size:
+            out_dir = self._tables.opposite[(cached[bound] // num_vcs) % 5]
+            alive = provider.link_alive_matrix
+            doomed[bound[~alive[local_node[bound], out_dir]]] = True
+        # Head flit at the front of its VC: stranded when its travel state
+        # can no longer reach the destination under the turn model.
+        hol = self._vc_slots[active * self.vc_depth + self._vc_head[active]]
+        head_front = (self._vc_count[active] > 0) & ((hol & FIDX_MASK) == 0)
+        route3 = provider.route_table3
+        doomed |= head_front & (route3[local_node * 5 + state, dest_local] < 0)
+
+        doomed_pids = np.unique(pid[doomed])
+        if doomed_pids.size == 0:
+            return 0
+        self._doomed_pids = doomed_pids
+        # Whole-VC clears are exact: a VC only ever holds flits of its single
+        # allocated packet, so no ring surgery is needed.
+        victims = active[np.isin(pid, doomed_pids)]
+        ports = self._q_port[victims]
+        np.add.at(self._occupied, ports, -1)
+        self._vc_count[victims] = 0
+        self._vc_head[victims] = 0
+        self._vc_alloc[victims] = -1
+        self._vc_down[victims] = -1
+        soa_step._refresh_first_free(self, np.unique(ports))
+        return int(doomed_pids.size)
+
+    def _purge_unroutable_queued(self, provider, doomed_pids: np.ndarray) -> None:
+        """Drop doomed remnants and START-unroutable packets from the source
+        queues (continuation flits of *surviving* partially injected packets
+        stay, mirroring ``flush_source_queue``)."""
+        n = self.topology.num_nodes
+        routable = self._routable_start
+        injected = self._pkt_injected.values
+        dest = self._pkt_dest.values
+        for node in np.nonzero(self._sq_count > 0)[0].tolist():
+            count = int(self._sq_count[node])
+            slots = (
+                self._sq_head[node] + np.arange(count)
+            ) % self.source_queue_capacity
+            values = self._sq_vals[node, slots]
+            pkts = values >> PKT_SHIFT
+            local = node % n
+            dest_local = dest[pkts] - (node // n) * n
+            fresh = injected[pkts] < 0
+            drop = np.isin(pkts, doomed_pids) | (
+                fresh & ~routable[local, dest_local]
+            )
+            if not drop.any():
+                continue
+            keep = ~drop
+            kept = int(keep.sum())
+            unroutable = int(np.unique(pkts[drop & fresh]).size)
+            if unroutable:
+                self._credit_unroutable_drops(node, unroutable)
+            self._sq_head[node] = 0
+            self._sq_count[node] = kept
+            if kept:
+                self._sq_vals[node, :kept] = values[keep]
+
+    def _credit_unroutable_drops(self, node: int, packets: int) -> None:
+        """Account dropped never-injected unroutable packets (lane-aware in
+        the batched subclass)."""
+        self.dropped_packets += packets
+        self.unroutable_packets += packets
 
     # -- kernel callbacks (rare per-packet events) ---------------------------
     def _record_injected_ids(self, injected_ids: np.ndarray, cycle: int) -> None:
@@ -409,6 +562,11 @@ class SoAMeshNetwork:
         """Queue a packet's flits at its source node (drop when full)."""
         node = packet.source
         size = packet.size_flits
+        if self._routable_start is not None and not self._routable_start[
+            node, packet.destination
+        ]:
+            self._credit_unroutable_drops(node, 1)
+            return False
         capacity = self.source_queue_capacity
         count = int(self._sq_count[node])
         if count + size > capacity:
@@ -460,6 +618,20 @@ class SoAMeshNetwork:
         count = sources.size
         if count == 0:
             return 0
+        if self._routable_start is not None:
+            destinations = np.asarray(destinations)
+            routable = self._routable_start[sources, destinations]
+            if not routable.all():
+                drops = np.bincount(
+                    sources[~routable], minlength=self._array_nodes
+                )
+                for node in np.nonzero(drops)[0].tolist():
+                    self._credit_unroutable_drops(node, int(drops[node]))
+                sources = sources[routable]
+                destinations = destinations[routable]
+                count = sources.size
+                if count == 0:
+                    return 0
         if count < 12 or np.unique(sources).size != count:
             # Small batches (or duplicate sources): the per-packet path beats
             # the fixed cost of the array sweep.
@@ -641,6 +813,13 @@ class SoAMeshNetwork:
         self._occ_sum_int.fill(0)
         self._occ_sum.fill(0.0)
         self._occ_samples = 0
+
+    def local_boc(self) -> list[int]:
+        """Per-node LOCAL-slot BOC this window (see MeshNetwork.local_boc)."""
+        grid = (self._buf_writes + self._buf_reads).reshape(
+            self.topology.num_nodes, 5
+        )
+        return [int(value) for value in grid[:, 0]]
 
     # -- bookkeeping --------------------------------------------------------
     @property

@@ -389,6 +389,19 @@ class BatchedSoAMeshNetwork(SoAMeshNetwork):
         count = sources.size
         if count == 0:
             return 0
+        if self._routable_start is not None:
+            routable = self._routable_start[sources, destinations]
+            if not routable.all():
+                drops = np.bincount(lane_ids[~routable], minlength=self.episodes)
+                for lane in np.nonzero(drops)[0].tolist():
+                    self._lane_dropped[lane] += int(drops[lane])
+                self.unroutable_packets += int(count - routable.sum())
+                lane_ids = lane_ids[routable]
+                sources = sources[routable]
+                destinations = destinations[routable]
+                count = sources.size
+                if count == 0:
+                    return 0
         nodes = self.topology.num_nodes
         gsources = sources + lane_ids * nodes
         if count < 12 or np.unique(gsources).size != count:
@@ -460,6 +473,11 @@ class BatchedSoAMeshNetwork(SoAMeshNetwork):
                     self._sq_vals[node, : end - capacity] = values[row, split:]
         self._sq_count[gsources] += size_flits
         return count
+
+    def _credit_unroutable_drops(self, node: int, packets: int) -> None:
+        """Unroutable drops land on the owning episode's lane counter."""
+        self._lane_dropped[node // self.topology.num_nodes] += packets
+        self.unroutable_packets += packets
 
     # -- global bookkeeping ---------------------------------------------------
     @property
@@ -539,11 +557,21 @@ class SoAMeshLane:
     def dropped_packets(self) -> int:
         return self._net._lane_dropped[self.lane_index]
 
+    @property
+    def route_provider(self):
+        """Active fault-aware route provider (shared by every episode)."""
+        return self._net._route_provider
+
     # -- injection interface --------------------------------------------------
     def enqueue_packet(self, packet: Packet) -> bool:
         """Queue a packet's flits at its (episode-local) source node."""
         net = self._net
         node = self._off + packet.source
+        if net._routable_start is not None and not net._routable_start[
+            packet.source, packet.destination
+        ]:
+            net._credit_unroutable_drops(node, 1)
+            return False
         size = packet.size_flits
         capacity = net.source_queue_capacity
         count = int(net._sq_count[node])
@@ -678,6 +706,16 @@ class SoAMeshLane:
             Direction.WEST: plane(Direction.WEST)[:, 1:].copy(),
             Direction.SOUTH: plane(Direction.SOUTH)[1:, :].copy(),
         }
+
+    def local_boc(self) -> list[int]:
+        """Per-node LOCAL-slot BOC this window (see MeshNetwork.local_boc)."""
+        net = self._net
+        p0 = self._off * 5
+        p1 = p0 + self._nodes * 5
+        grid = (net._buf_writes[p0:p1] + net._buf_reads[p0:p1]).reshape(
+            self._nodes, 5
+        )
+        return [int(value) for value in grid[:, 0]]
 
     def reset_boc_counters(self) -> None:
         """Reset the episode's BOC and VCO accumulators (window boundary)."""

@@ -214,7 +214,25 @@ def switch(net, cycle: int) -> None:
     # derived on the fly from coordinates — a handful of elementwise ops on
     # the candidate set instead of one gather into a quadratic table.
     dest = net._pkt_dest.values[pkt]
-    if net._route_slot is not None:
+    if net._dynamic_routes:
+        # Degraded mesh: the fault-aware provider's state-dependent table
+        # replaces XY.  VCs with a live wormhole binding derive their output
+        # from the binding itself (the direction their head actually took —
+        # a table rebuild mid-worm must not re-route the body), matching the
+        # object backend's cached ``vc.output_direction``.  Unbound fronts
+        # are heads (or locally ejecting bodies) routed from the table by
+        # their travel state; fault-activation excision guarantees the
+        # lookup never yields "unroutable".
+        out_dir = net._route3[net._q_state_base[q] + dest].astype(np.int64)
+        cached_down = net._vc_down[q]
+        bound = cached_down >= 0
+        if bound.any():
+            bound_dir = net._tables.opposite[(cached_down // net.num_vcs) % 5]
+            out_dir = np.where(bound, bound_dir, out_dir)
+        if (out_dir < 0).any():  # pragma: no cover - excision invariant
+            raise RuntimeError("unroutable head reached the switch kernel")
+        slot_id = net._q_node5[q] + out_dir
+    elif net._route_slot is not None:
         slot_id = net._route_slot[net._q_node_base[q] + dest]
         if net._q_slot_off is not None:
             # Batched disjoint-union mode: the route table stays the solo

@@ -24,7 +24,8 @@ import pytest
 
 from repro.core.tlm import TableLikeMethod, estimate_attacker_count
 from repro.monitor.labeling import attack_port_loads
-from repro.noc.routing import xy_route_victims
+from repro.noc.route_provider import RouteProvider
+from repro.noc.routing import UnroutableError, xy_route_path, xy_route_victims
 from repro.noc.topology import Direction, MeshTopology
 from repro.traffic.scenario import AttackScenario, MultiAttackScenario
 
@@ -122,3 +123,122 @@ def test_multi_attacker_iterative_rounds(rows):
             f"{scenario.describe()} (found {sorted(recovered_total)})"
         )
         assert set(scenario.attackers).issubset(recovered_total)
+
+
+# -- faulty-link axis ---------------------------------------------------------
+#
+# When the data plane detours around dead links/routers the attack flow no
+# longer follows XY, so the geometric evidence must be derived from the live
+# route provider — and the TLM, walking the same provider, must keep its
+# properties on the *detoured* route.
+
+
+def _hop_direction(topology, a, b):
+    ax, ay = topology.coordinates(a)
+    bx, by = topology.coordinates(b)
+    if bx == ax + 1:
+        return Direction.EAST
+    if bx == ax - 1:
+        return Direction.WEST
+    if by == ay + 1:
+        return Direction.NORTH
+    return Direction.SOUTH
+
+
+def _provider_direction_victims(topology, provider, path):
+    """Per-direction victim sets implied by one flow's *live* route.
+
+    A flit travelling in direction ``d`` into node ``b`` occupies ``b``'s
+    input port on the opposite side — the side the abnormal frame names.
+    """
+    victims: dict[Direction, set[int]] = {d: set() for d in Direction.cardinal()}
+    for a, b in zip(path, path[1:]):
+        travel = _hop_direction(topology, a, b)
+        victims[travel.opposite].add(b)
+    return victims
+
+
+def _fault_axes(rows):
+    topology = MeshTopology(rows=rows)
+    node = topology.node_id(2, min(2, rows - 2))
+    yield topology, RouteProvider(topology, dead_links=((node, Direction.NORTH),))
+    if rows == 5:
+        yield topology, RouteProvider(topology, dead_routers=(12,))
+
+
+@pytest.mark.parametrize("rows", [4, 5, 6])
+def test_single_attacker_superset_under_faults(rows):
+    """The TLM keeps its role guarantees on every detoured placement.
+
+    Exhaustive over all routable (attacker, victim) pairs under the
+    canonical dead link (and a dead router on the 5x5): the attacker is
+    always recovered, the victim never accused, every accusation stays
+    within one hop of the live route, and placements whose detour happens
+    to coincide with XY accuse no route node at all (the fault-free
+    guarantee degrades only where the geometry actually changed).
+    """
+    for topology, provider in _fault_axes(rows):
+        tlm = TableLikeMethod(topology, route_provider=provider)
+        for attacker in topology.nodes():
+            for victim in topology.nodes():
+                if attacker == victim:
+                    continue
+                try:
+                    path = provider.route_path(attacker, victim)
+                except UnroutableError:
+                    continue  # west-first strands the pair; no flow exists
+                direction_victims = _provider_direction_victims(
+                    topology, provider, path
+                )
+                fused = set(path) - {attacker}
+                recovered = set(
+                    tlm.localize_attackers(direction_victims, fused_victims=fused)
+                )
+                context = (
+                    f"{rows}x{rows} {provider.describe()}: "
+                    f"attacker {attacker} -> victim {victim}"
+                )
+                assert attacker in recovered, f"attacker missed ({context})"
+                assert victim not in recovered, f"victim accused ({context})"
+                near_route = set(path)
+                for node in path:
+                    for direction in Direction.cardinal():
+                        neighbor = topology.neighbor(node, direction)
+                        if neighbor is not None:
+                            near_route.add(neighbor)
+                assert recovered <= near_route, (
+                    f"accusation beyond one hop of the live route ({context})"
+                )
+                if path == xy_route_path(topology, attacker, victim):
+                    assert not fused.intersection(recovered), (
+                        f"route node accused on an XY-identical pair ({context})"
+                    )
+
+
+def test_dead_link_prunes_impossible_candidates():
+    """A candidate whose egress link is dead cannot be the sender.
+
+    The EAST abnormal frame names a node whose east input port carries the
+    flow; the one-hop candidate east of it only qualifies if its WEST
+    egress link is alive.  Killing that link must remove the candidate —
+    while the true attacker (whose egress the flow demonstrably crossed)
+    is never filtered.
+    """
+    topology = MeshTopology(rows=4)
+    victim = topology.node_id(1, 1)
+    candidate = topology.node_id(2, 1)
+    direction_victims = {d: set() for d in Direction.cardinal()}
+    direction_victims[Direction.EAST] = {victim}
+
+    live = TableLikeMethod(topology, route_provider=RouteProvider(topology))
+    assert candidate in live.localize_attackers(
+        direction_victims, fused_victims={victim}
+    )
+
+    dead = RouteProvider(
+        topology, dead_links=((candidate, Direction.WEST),)
+    )
+    pruned = TableLikeMethod(topology, route_provider=dead)
+    assert candidate not in pruned.localize_attackers(
+        direction_victims, fused_victims={victim}
+    )

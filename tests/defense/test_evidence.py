@@ -161,6 +161,70 @@ class TestFrontierEvidence:
         assert acc.convicted_nodes() == []
 
 
+class TestDetourDiscountsAndPromotions:
+    """Carrier-aware evidence weighting of the degraded guard's stream."""
+
+    CONFIG = EvidenceConfig(decay=0.9, conviction_threshold=3.4, frontier_weight=0.3)
+
+    def test_discounts_scale_both_channels(self):
+        """An uncorroborated carrier's direct naming AND frontier trace are
+        both scaled: reroute-shifted phantoms name as densely as real weak
+        colluders, so no channel is trustworthy on its own."""
+        acc = EvidenceAccumulator(64, self.CONFIG)
+        acc.observe(
+            result(attackers=[3], frontier=[4], estimated=2),
+            1.0,
+            discounts={3: 0.5, 4: 0.5},
+        )
+        assert acc.suspicion_of(3) == pytest.approx(0.5)
+        assert acc.suspicion_of(4) == pytest.approx(0.15)
+
+    def test_promoted_frontier_counts_as_direct_naming(self):
+        acc = EvidenceAccumulator(64, self.CONFIG)
+        acc.observe(
+            result(attackers=[], frontier=[7], estimated=1),
+            1.0,
+            promotions=frozenset({7}),
+        )
+        assert acc.suspicion_of(7) == pytest.approx(self.CONFIG.tlm_weight)
+
+    def test_promotion_bypasses_under_localization_gate(self):
+        """Phantoms filling the attacker estimate must not close the
+        frontier channel on a corroborated carrier: the window is fully
+        'explained' only because the phantom stole the naming."""
+        acc = EvidenceAccumulator(64, self.CONFIG)
+        acc.observe(
+            result(attackers=[5], frontier=[7, 12], estimated=1),
+            1.0,
+            promotions=frozenset({7}),
+        )
+        assert acc.suspicion_of(7) == pytest.approx(self.CONFIG.tlm_weight)
+        assert acc.suspicion_of(12) == 0.0  # ordinary frontier stays gated
+
+    def test_promoted_trace_trajectory_convicts(self):
+        """A corroborated colluder traced every window convicts on the same
+        schedule as four consecutive direct namings."""
+        acc = EvidenceAccumulator(64, self.CONFIG)
+        fresh = []
+        for _ in range(4):
+            fresh += acc.observe(
+                result(attackers=[9], frontier=[7], estimated=1),
+                1.0,
+                promotions=frozenset({7}),
+            )
+        assert 7 in fresh
+        # The same trajectory without corroboration stays un-convictable
+        # even with the frontier channel open (under-localized windows).
+        acc2 = EvidenceAccumulator(64, self.CONFIG)
+        for _ in range(200):
+            acc2.observe(
+                result(attackers=[9], frontier=[7], estimated=2),
+                1.0,
+                discounts={7: 0.5},
+            )
+        assert 7 not in acc2.convicted_nodes()
+
+
 class TestGuardEvidenceIntegration:
     """The guard acting on convictions with no detector support at all."""
 

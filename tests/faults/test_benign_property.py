@@ -27,7 +27,7 @@ import pytest
 from repro.core.pipeline import LocalizationResult
 from repro.defense.guard import DL2FenceGuard
 from repro.defense.policy import MitigationPolicy
-from repro.faults import default_fault_suite, node_port_cells
+from repro.faults import dead_link_for, default_fault_suite, node_port_cells
 from repro.monitor.sampler import GlobalPerformanceMonitor, MonitorConfig
 from repro.noc.simulator import NoCSimulator, SimulationConfig
 from repro.noc.topology import Direction
@@ -41,6 +41,7 @@ SCENARIO_NAMES = (
     "stuck",
     "corrupt",
     "delay",
+    "link_faults",
 )
 BACKENDS = ("soa", "object")
 
@@ -79,7 +80,14 @@ class PlausibilityFence:
 
 
 def benign_guard_run(
-    rows, scenario_name, backend, fence=None, windows=10, period=64, degraded=True
+    rows,
+    scenario_name,
+    backend,
+    fence=None,
+    windows=10,
+    period=64,
+    degraded=True,
+    data_schedule=None,
 ):
     """A benign-traffic episode with ``scenario_name`` faults; returns guard."""
     simulator = NoCSimulator(
@@ -89,7 +97,11 @@ def benign_guard_run(
     simulator.add_source(
         UniformRandomTraffic(topology, injection_rate=0.05, seed=21)
     )
-    scenario = default_fault_suite(topology)[scenario_name]
+    # Data-plane kills land mid-episode (after three clean windows), the
+    # placement the chaos matrix uses; monitor-only scenarios ignore it.
+    scenario = default_fault_suite(
+        topology, link_kill_cycle=32 + 3 * period
+    )[scenario_name]
     guard = DL2FenceGuard(
         fence or PlausibilityFence(topology, period),
         MitigationPolicy.quarantine(engage_after=2),
@@ -99,6 +111,9 @@ def benign_guard_run(
         simulator
     )
     monitor.set_fault_plane(scenario.build_plane(topology, seed=5))
+    scenario.schedule_data_faults(simulator)
+    if data_schedule is not None:
+        data_schedule(simulator)
     guard.attach(simulator, monitor=monitor)
     simulator.run(32 + windows * period)
     return guard
@@ -157,16 +172,21 @@ class TestTrainedPipelineStaysQuiet:
         monitor = GlobalPerformanceMonitor(
             MonitorConfig(sample_period=config.sample_period)
         ).attach(simulator)
-        monitor.set_fault_plane(
-            default_fault_suite(topology)[scenario].build_plane(topology, seed=5)
-        )
+        suite_entry = default_fault_suite(
+            topology,
+            link_kill_cycle=config.warmup_cycles + 3 * config.sample_period,
+        )[scenario]
+        monitor.set_fault_plane(suite_entry.build_plane(topology, seed=5))
+        suite_entry.schedule_data_faults(simulator)
         guard.attach(simulator, monitor=monitor)
         simulator.run(config.warmup_cycles + 8 * config.sample_period + 1)
         assert_no_punishment(guard, f"trained {scenario} @ {backend}")
 
 
 class TestFaultedStreamBackendParity:
-    @pytest.mark.parametrize("scenario", ("dropout_silent", "corrupt", "delay"))
+    @pytest.mark.parametrize(
+        "scenario", ("dropout_silent", "corrupt", "delay", "link_faults")
+    )
     def test_delivered_stream_is_bit_identical(self, scenario):
         def stream(backend):
             simulator = NoCSimulator(
@@ -179,9 +199,11 @@ class TestFaultedStreamBackendParity:
             monitor = GlobalPerformanceMonitor(
                 MonitorConfig(sample_period=50)
             ).attach(simulator)
-            monitor.set_fault_plane(
-                default_fault_suite(topology)[scenario].build_plane(topology, seed=5)
-            )
+            suite_entry = default_fault_suite(topology, link_kill_cycle=150)[
+                scenario
+            ]
+            monitor.set_fault_plane(suite_entry.build_plane(topology, seed=5))
+            suite_entry.schedule_data_faults(simulator)
             simulator.run(50 * 20)
             return monitor.samples
 
@@ -191,9 +213,58 @@ class TestFaultedStreamBackendParity:
             assert left.metadata.get("unobservable_nodes", ()) == (
                 right.metadata.get("unobservable_nodes", ())
             )
+            assert left.metadata.get("detour_nodes", ()) == (
+                right.metadata.get("detour_nodes", ())
+            )
             for kind in ("vco", "boc"):
                 for direction in Direction.cardinal():
                     assert np.array_equal(
                         getattr(left, kind).frames[direction].values,
                         getattr(right, kind).frames[direction].values,
                     )
+        if scenario == "link_faults":
+            assert any(s.metadata.get("detour_nodes") for s in soa)
+
+
+def _schedule_link_scenario(simulator, name, period=64):
+    """Inline data-fault timelines beyond the suite's canonical one."""
+    node = dead_link_for(simulator.topology)
+    kill = 0 if name == "link_zero" else 32 + 3 * period
+    if name == "router_mid":
+        simulator.schedule_data_fault(kill, dead_routers=(node,))
+    else:
+        simulator.schedule_data_fault(
+            kill, dead_links=((node, Direction.NORTH),)
+        )
+
+
+class TestLinkFaultScenariosStayBenign:
+    """Dead links/routers alone never cause engagements or convictions.
+
+    The detour carriers absorb genuinely shifted congestion and a dead
+    router strands whole west-first corridors — the guard must read all of
+    it as infrastructure, not hostility, at every mesh scale and on both
+    backends.
+    """
+
+    SCENARIOS = ("link_zero", "link_mid", "router_mid")
+
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    @pytest.mark.parametrize("rows", (4, 8, 16))
+    def test_soa_mesh_sweep(self, rows, scenario):
+        guard = benign_guard_run(
+            rows, "none", "soa",
+            data_schedule=lambda sim: _schedule_link_scenario(sim, scenario),
+        )
+        assert_no_punishment(guard, f"{scenario} @ {rows}x{rows} soa")
+
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    @pytest.mark.parametrize("rows", (4, 8))
+    def test_object_backend_parity(self, rows, scenario):
+        # 16x16 object runs are covered (cheaply) by the stream-parity
+        # fingerprints; the guard-level property re-runs where affordable.
+        guard = benign_guard_run(
+            rows, "none", "object", windows=8,
+            data_schedule=lambda sim: _schedule_link_scenario(sim, scenario),
+        )
+        assert_no_punishment(guard, f"{scenario} @ {rows}x{rows} object")

@@ -1,0 +1,189 @@
+"""Data-plane fault models and their mid-episode activation path.
+
+Pins the declarative layer (:class:`DeadLinkFault` / :class:`DeadRouterFault`
+— frozen, hashable, library-registered, cache-key safe), the canonical
+``link_faults`` scenario of the chaos suite, and the simulator-side
+scheduling machinery on both the solo and the episode-batched backend.
+"""
+
+import pytest
+
+from repro.faults import (
+    FAULT_LIBRARY,
+    DeadLinkFault,
+    DeadRouterFault,
+    FaultScenario,
+    dead_link_for,
+    default_fault_suite,
+)
+from repro.noc.batch_sim import BatchedNoCSimulator
+from repro.noc.route_provider import RouteProvider
+from repro.noc.simulator import NoCSimulator, SimulationConfig
+from repro.noc.topology import Direction, MeshTopology
+from repro.traffic.synthetic import UniformRandomTraffic
+
+
+class TestFaultModels:
+    def test_models_are_frozen_and_hashable(self):
+        link = DeadLinkFault(node=5, direction=Direction.NORTH, start_cycle=100)
+        router = DeadRouterFault(node=9, start_cycle=50)
+        assert hash(link) == hash(
+            DeadLinkFault(node=5, direction=Direction.NORTH, start_cycle=100)
+        )
+        assert link != DeadLinkFault(node=5, direction=Direction.EAST)
+        assert hash(router)
+        with pytest.raises(Exception):
+            link.node = 6
+
+    def test_registered_in_library(self):
+        assert FAULT_LIBRARY["dead-link"] is DeadLinkFault
+        assert FAULT_LIBRARY["dead-router"] is DeadRouterFault
+
+    def test_describe_names_the_resource(self):
+        link = DeadLinkFault(node=5, direction=Direction.NORTH, start_cycle=100)
+        assert "5" in link.describe() and "100" in link.describe()
+        assert "7" in DeadRouterFault(node=7).describe()
+
+    def test_affected_nodes_covers_endpoints_and_detour_carriers(self):
+        """The chaos gates charge collateral against ``affected_nodes``, so
+        it must name everything the fault physically touches: both link
+        endpoints plus every detour carrier of the recomputed routes."""
+        topology = MeshTopology(rows=6)
+        node = dead_link_for(topology)
+        fault = DeadLinkFault(node=node, direction=Direction.NORTH)
+        affected = fault.affected_nodes(topology)
+        neighbor = topology.neighbor(node, Direction.NORTH)
+        assert node in affected and neighbor in affected
+        provider = RouteProvider(topology, dead_links=((node, Direction.NORTH),))
+        assert provider.detour_nodes <= affected
+
+    def test_dead_router_affected_nodes(self):
+        topology = MeshTopology(rows=5)
+        fault = DeadRouterFault(node=12)
+        affected = fault.affected_nodes(topology)
+        assert 12 in affected
+        provider = RouteProvider(topology, dead_routers=(12,))
+        assert provider.detour_nodes <= affected
+
+    def test_canonical_dead_link_placement(self):
+        """``dead_link_for`` stays off the attack rows/columns at any scale
+        and clamps into the mesh on tiny ones."""
+        for rows in (3, 4, 8, 16):
+            topology = MeshTopology(rows=rows)
+            node = dead_link_for(topology)
+            x, y = topology.coordinates(node)
+            assert x == min(2, topology.columns - 1)
+            assert y == min(2, max(rows - 2, 0))
+            # The NORTH link out of it must exist (it is the canonical kill).
+            assert topology.neighbor(node, Direction.NORTH) is not None
+
+
+class TestLinkFaultScenario:
+    def test_suite_contains_link_faults(self):
+        topology = MeshTopology(rows=8)
+        suite = default_fault_suite(topology, link_kill_cycle=512)
+        scenario = suite["link_faults"]
+        assert scenario.data_faults
+        fault = scenario.data_faults[0]
+        assert isinstance(fault, DeadLinkFault)
+        assert fault.node == dead_link_for(topology)
+        assert fault.start_cycle == 512
+        assert fault.affected_nodes(topology) <= scenario.affected_nodes(topology)
+        assert "link" in scenario.describe()
+
+    def test_scenario_is_cache_hashable(self):
+        topology = MeshTopology(rows=4)
+        scenario = default_fault_suite(topology, link_kill_cycle=64)["link_faults"]
+        assert hash(scenario.data_faults)
+        assert scenario.data_faults == default_fault_suite(
+            topology, link_kill_cycle=64
+        )["link_faults"].data_faults
+
+
+def _loaded_simulator(rows=4, seed=3, backend="soa"):
+    simulator = NoCSimulator(
+        SimulationConfig(rows=rows, warmup_cycles=0, seed=seed, backend=backend)
+    )
+    simulator.add_source(
+        UniformRandomTraffic(simulator.topology, injection_rate=0.1, seed=seed + 1)
+    )
+    return simulator
+
+
+class TestSimulatorScheduling:
+    @pytest.mark.parametrize("backend", ("soa", "object"))
+    def test_scheduled_fault_activates_at_cycle(self, backend):
+        simulator = _loaded_simulator(backend=backend)
+        node = dead_link_for(simulator.topology)
+        simulator.schedule_data_fault(150, dead_links=((node, Direction.NORTH),))
+        simulator.run(149)
+        assert simulator.route_provider is None
+        simulator.run(151)
+        provider = simulator.route_provider
+        assert provider is not None
+        assert not provider.link_is_live(node, Direction.NORTH)
+        assert (node, Direction.NORTH) in simulator.dead_links
+
+    def test_scenario_schedules_through_fault_scenario(self):
+        simulator = _loaded_simulator()
+        scenario = default_fault_suite(simulator.topology, link_kill_cycle=100)[
+            "link_faults"
+        ]
+        scenario.schedule_data_faults(simulator)
+        simulator.run(200)
+        assert simulator.route_provider is not None
+        assert simulator.route_provider.detour_nodes
+
+    def test_past_cycle_rejected(self):
+        simulator = _loaded_simulator()
+        simulator.run(50)
+        with pytest.raises(ValueError):
+            simulator.schedule_data_fault(10, dead_links=((0, Direction.EAST),))
+
+    def test_faults_accumulate_across_activations(self):
+        simulator = _loaded_simulator(rows=5)
+        topology = simulator.topology
+        first = (topology.node_id(2, 2), Direction.NORTH)
+        simulator.schedule_data_fault(100, dead_links=(first,))
+        simulator.schedule_data_fault(200, dead_routers=(topology.node_id(1, 3),))
+        simulator.run(300)
+        provider = simulator.route_provider
+        assert first in simulator.dead_links
+        assert topology.node_id(1, 3) in simulator.dead_routers
+        assert provider.dead_routers == {topology.node_id(1, 3)}
+        assert not provider.link_is_live(*first)
+
+    def test_mid_episode_kill_drops_unroutable_traffic(self):
+        """A dead router strands west-first-unreachable pairs; the backend
+        must account for them (killed in flight or dropped at source), not
+        wedge."""
+        simulator = _loaded_simulator(rows=5, seed=11)
+        simulator.schedule_data_fault(
+            120, dead_routers=(simulator.topology.node_id(2, 2),)
+        )
+        simulator.run(600)
+        network = simulator.network
+        assert network.unroutable_packets > 0
+        assert simulator.stats.packets_delivered > 0
+
+    def test_batched_lanes_share_the_fault(self):
+        batched = BatchedNoCSimulator(
+            SimulationConfig(rows=4, warmup_cycles=0, seed=7), episodes=2
+        )
+        for index in range(2):
+            lane = batched.lane(index)
+            lane.add_source(
+                UniformRandomTraffic(
+                    lane.topology, injection_rate=0.1, seed=20 + index
+                )
+            )
+        node = dead_link_for(batched.topology)
+        batched.schedule_data_fault(100, dead_links=((node, Direction.NORTH),))
+        batched.run(90)
+        assert batched.route_provider is None
+        batched.run(200)
+        assert batched.route_provider is not None
+        for index in range(2):
+            provider = batched.lane(index).network.route_provider
+            assert provider is not None
+            assert not provider.link_is_live(node, Direction.NORTH)

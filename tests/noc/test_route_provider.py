@@ -1,0 +1,255 @@
+"""Properties of the fault-aware :class:`RouteProvider`.
+
+Four layers pin the routing abstraction underneath all three backends:
+
+* **XY identity** — on a healthy mesh the west-first table with the
+  ascending slot tie-break reproduces deterministic XY routing *exactly*
+  (hop-for-hop), which is why installing a fault-free provider can never
+  change a fingerprint;
+* **turn-model safety** — every transition the table can take, under any
+  fault set, obeys the west-first prohibitions (no 180° turns, no N→W or
+  S→W).  West-first over a connected sub-mesh is provably deadlock-free,
+  so this is the whole deadlock argument;
+* **detour correctness** — routes around dead links/routers are valid
+  neighbor walks that avoid every dead resource and are never shorter than
+  the XY baseline;
+* **degradation surface** — :class:`UnroutableError` carries the endpoint
+  pair, dead resources are validated at construction, and ``detour_nodes``
+  matches a brute-force enumeration of affected pairs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.noc.route_provider import _ALLOWED, START, RouteProvider
+from repro.noc.routing import UnroutableError, xy_next_direction, xy_route_path
+from repro.noc.topology import Direction, MeshTopology
+
+#: Slot order of the table's direction axis (LOCAL=0, E, N, W, S).
+_SLOT_DIRS = (
+    Direction.LOCAL,
+    Direction.EAST,
+    Direction.NORTH,
+    Direction.WEST,
+    Direction.SOUTH,
+)
+
+
+def _hop_direction(topology, a, b):
+    ax, ay = topology.coordinates(a)
+    bx, by = topology.coordinates(b)
+    if bx == ax + 1:
+        return Direction.EAST
+    if bx == ax - 1:
+        return Direction.WEST
+    if by == ay + 1:
+        return Direction.NORTH
+    return Direction.SOUTH
+
+
+def _assert_valid_walk(topology, provider, path, source, destination):
+    assert path[0] == source and path[-1] == destination
+    assert len(set(path)) == len(path), "route revisits a node"
+    for a, b in zip(path, path[1:]):
+        direction = _hop_direction(topology, a, b)
+        assert topology.neighbor(a, direction) == b
+        assert (a, direction) not in provider.dead_links, (
+            f"route {source}->{destination} crosses dead link {a}->{direction}"
+        )
+        assert a not in provider.dead_routers
+        assert b not in provider.dead_routers or b == destination
+
+
+class TestFaultFreeIsExactlyXY:
+    @pytest.mark.parametrize("rows", [3, 4, 5, 8])
+    def test_all_pairs_route_identically(self, rows):
+        topology = MeshTopology(rows=rows)
+        provider = RouteProvider(topology)
+        assert provider.detour_nodes == frozenset()
+        assert bool(provider.routable_from_start.all())
+        for source in range(topology.num_nodes):
+            for destination in range(topology.num_nodes):
+                if source == destination:
+                    continue
+                assert provider.route_path(source, destination) == xy_route_path(
+                    topology, source, destination
+                )
+                assert provider.next_direction(
+                    source, destination
+                ) == xy_next_direction(topology, source, destination)
+
+
+class TestWestFirstTurnModel:
+    @staticmethod
+    def _fault_sets(topology):
+        node = topology.node_id(1, 1)
+        yield RouteProvider(topology)
+        yield RouteProvider(topology, dead_links=((node, Direction.NORTH),))
+        yield RouteProvider(topology, dead_links=((node, Direction.EAST),))
+        yield RouteProvider(
+            topology,
+            dead_links=((node, Direction.WEST), (node, Direction.SOUTH)),
+        )
+        yield RouteProvider(topology, dead_routers=(node,))
+
+    @pytest.mark.parametrize("rows", [4, 6])
+    def test_every_table_transition_is_allowed(self, rows):
+        """No reachable transition takes a prohibited turn — under any fault.
+
+        The table is indexed by (node, travel-state, destination); a hop in
+        direction ``out`` moves the packet into travel-state ``out``, so
+        checking every populated (state, out) cell checks every turn any
+        packet can ever take.  ``_ALLOWED`` has no 180° pairs and no
+        {N,S}→W entries, which is the west-first deadlock-freedom argument.
+        """
+        topology = MeshTopology(rows=rows)
+        for provider in self._fault_sets(topology):
+            table = np.asarray(provider.route_table3).reshape(
+                topology.num_nodes, 5, topology.num_nodes
+            )
+            for state in range(5):
+                outs = np.unique(table[:, state, :])
+                for out in outs[outs > 0]:
+                    assert int(out) in _ALLOWED[state], (
+                        f"{provider!r}: state {state} allows out-slot {out}"
+                    )
+
+    def test_start_state_tie_break_is_xy(self):
+        """From START the ascending-slot tie-break picks the X leg first."""
+        topology = MeshTopology(rows=5)
+        provider = RouteProvider(topology)
+        # node (0,0) -> (3,3): east before north, every hop.
+        path = provider.route_path(0, topology.node_id(3, 3))
+        directions = [
+            _hop_direction(topology, a, b) for a, b in zip(path, path[1:])
+        ]
+        assert directions == [Direction.EAST] * 3 + [Direction.NORTH] * 3
+
+
+class TestDetours:
+    @pytest.mark.parametrize("rows", [4, 6, 8])
+    def test_single_dead_link_all_pairs(self, rows):
+        topology = MeshTopology(rows=rows)
+        node = topology.node_id(2, min(2, rows - 2))
+        provider = RouteProvider(topology, dead_links=((node, Direction.NORTH),))
+        assert not provider.link_is_live(node, Direction.NORTH)
+        neighbor = topology.neighbor(node, Direction.NORTH)
+        assert not provider.link_is_live(neighbor, Direction.SOUTH)
+        for source in range(topology.num_nodes):
+            for destination in range(topology.num_nodes):
+                if source == destination:
+                    continue
+                path = provider.route_path(source, destination)
+                _assert_valid_walk(topology, provider, path, source, destination)
+                assert len(path) >= len(
+                    xy_route_path(topology, source, destination)
+                ), "a detour can never be shorter than the XY baseline"
+
+    def test_dead_router_detours_and_isolates(self):
+        """A dead router reroutes what west-first *can* reroute.
+
+        West-first places every WEST hop before any N/S hop, so a source in
+        the dead router's row east of it loses every destination at or
+        beyond the dead column (its only westward corridor is its own row)
+        — the turn model trades that connectivity for deadlock freedom.  Everything else must detour successfully, and the
+        unroutable set must be exactly the predicted one (mirrored in
+        ``routable_from_start``, which is what the backends' source-drop
+        gates consume).
+        """
+        topology = MeshTopology(rows=5)
+        dx, dy = 2, 2
+        dead = topology.node_id(dx, dy)
+        provider = RouteProvider(topology, dead_routers=(dead,))
+        routable = provider.routable_from_start
+        for source in range(topology.num_nodes):
+            for destination in range(topology.num_nodes):
+                if source == destination:
+                    continue
+                sx, sy = topology.coordinates(source)
+                tx, _ty = topology.coordinates(destination)
+                expect_unroutable = (
+                    dead in (source, destination)
+                    or (sy == dy and sx > dx and tx <= dx)
+                )
+                assert bool(routable[source, destination]) != expect_unroutable
+                if expect_unroutable:
+                    with pytest.raises(UnroutableError) as excinfo:
+                        provider.route_path(source, destination)
+                    assert excinfo.value.source == source
+                    assert excinfo.value.destination == destination
+                    continue
+                path = provider.route_path(source, destination)
+                _assert_valid_walk(topology, provider, path, source, destination)
+                assert dead not in path
+
+    def test_detour_nodes_matches_brute_force(self):
+        """``detour_nodes`` equals the brute-force sweep over every pair."""
+        topology = MeshTopology(rows=5)
+        node = topology.node_id(2, 2)
+        dead = (node, Direction.NORTH)
+        provider = RouteProvider(topology, dead_links=(dead,))
+        neighbor = topology.neighbor(*dead)
+        expected: set[int] = set()
+        for source in range(topology.num_nodes):
+            for destination in range(topology.num_nodes):
+                if source == destination:
+                    continue
+                xy = xy_route_path(topology, source, destination)
+                crossings = {
+                    (a, b) for a, b in zip(xy, xy[1:])
+                }
+                if (node, neighbor) not in crossings and (
+                    neighbor,
+                    node,
+                ) not in crossings:
+                    continue
+                expected.update(
+                    set(provider.route_path(source, destination)) - set(xy)
+                )
+        assert provider.detour_nodes == frozenset(expected)
+        assert provider.detour_nodes, "the canonical dead link must cause detours"
+
+
+class TestDegradationSurface:
+    def test_unroutable_error_message(self):
+        topology = MeshTopology(rows=4)
+        provider = RouteProvider(topology, dead_routers=(5,))
+        with pytest.raises(UnroutableError, match="no route from node 0 to node 5"):
+            provider.route_path(0, 5)
+        with pytest.raises(UnroutableError):
+            provider.next_direction(0, 5)
+
+    def test_routable_from_start_masks_dead_destinations(self):
+        topology = MeshTopology(rows=4)
+        dx, dy = 1, 1
+        dead = topology.node_id(dx, dy)
+        provider = RouteProvider(topology, dead_routers=(dead,))
+        routable = provider.routable_from_start
+        assert routable.shape == (topology.num_nodes, topology.num_nodes)
+        assert not routable[:, dead].any()
+        assert not routable[dead, :].any()
+        for source in range(topology.num_nodes):
+            for destination in range(topology.num_nodes):
+                if dead in (source, destination) or source == destination:
+                    continue
+                sx, sy = topology.coordinates(source)
+                tx, _ty = topology.coordinates(destination)
+                # West-first connectivity law (see TestDetours): the only
+                # westward corridor is the source row.
+                cut = sy == dy and sx > dx and tx <= dx
+                assert bool(routable[source, destination]) != cut
+
+    def test_nonexistent_link_rejected(self):
+        topology = MeshTopology(rows=4)
+        top = topology.node_id(0, 3)
+        with pytest.raises(ValueError, match="no NORTH link"):
+            RouteProvider(topology, dead_links=((top, Direction.NORTH),))
+
+    def test_describe_names_dead_resources(self):
+        topology = MeshTopology(rows=4)
+        provider = RouteProvider(
+            topology, dead_links=((5, Direction.EAST),), dead_routers=(10,)
+        )
+        text = provider.describe()
+        assert "10" in text
+        assert provider.dead_routers == frozenset((10,))
