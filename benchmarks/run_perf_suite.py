@@ -48,6 +48,7 @@ from repro.experiments.tables import format_rows
 from repro.monitor.features import FeatureKind
 from repro.nn.dtype import use_dtype
 from repro.noc.backend import resolve_backend
+from repro.obs.metrics import METRICS
 from repro.runtime.cache import ArtifactCache
 from repro.runtime.engine import ExperimentEngine
 from repro.runtime.parallel import ParallelRunner
@@ -131,8 +132,16 @@ def run_modes(config: ExperimentConfig, workers: int, skip_baseline: bool) -> di
         )
         for mode, engine, dtype in plans:
             print(f"== {mode} (dtype={dtype}, workers={engine.runner.workers}) ==")
-            with use_dtype(dtype):
-                timings = suite(config, engine)
+            # Per-mode metrics window: kernel-phase, runner, cache and NN
+            # instruments collect for this mode only, then fold into its
+            # summary entry so perf_summary.json carries phase attribution.
+            METRICS.reset()
+            METRICS.enable()
+            try:
+                with use_dtype(dtype):
+                    timings = suite(config, engine)
+            finally:
+                METRICS.disable()
             modes[mode] = {
                 "dtype": dtype,
                 "workers": engine.runner.workers,
@@ -140,7 +149,9 @@ def run_modes(config: ExperimentConfig, workers: int, skip_baseline: bool) -> di
                 "experiments": timings,
                 "total_seconds": sum(timings.values()),
                 "cache_stats": engine.cache.stats.as_dict(),
+                "metrics": METRICS.snapshot(),
             }
+            METRICS.reset()
     return modes
 
 

@@ -41,6 +41,7 @@ from repro.faults.monitor import DETOUR_KEY, UNOBSERVABLE_KEY
 from repro.monitor.features import FeatureKind
 from repro.monitor.frames import FrameSample
 from repro.noc.topology import Direction, MeshTopology
+from repro.obs.bus import BUS
 
 __all__ = ["DegradedModeConfig", "WindowHealth", "WindowSanitizer"]
 
@@ -244,4 +245,11 @@ class WindowSanitizer:
             imputed_cells=imputed,
             detour_carriers=detour,
         )
+        if BUS.active and health.degraded:
+            BUS.emit(
+                "window_sanitized",
+                imputed_cells=imputed,
+                declared_silent=health.declared_silent,
+                stuck=health.stuck,
+            )
         return sample, health

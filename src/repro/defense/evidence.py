@@ -43,6 +43,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.pipeline import LocalizationResult
+from repro.obs.bus import BUS
 
 __all__ = ["EvidenceConfig", "EvidenceAccumulator"]
 
@@ -230,11 +231,17 @@ class EvidenceAccumulator:
             if node not in self._convicted:
                 self._convicted.add(node)
                 fresh.append(node)
-        for node in [
+        lapsed = [
             n for n in self._convicted
             if self.suspicion[n] < config.release_threshold
-        ]:
+        ]
+        for node in lapsed:
             self._convicted.discard(node)
+        if BUS.active:
+            if fresh:
+                BUS.emit("convicted", nodes=fresh)
+            if lapsed:
+                BUS.emit("conviction_lapsed", nodes=lapsed, reason="decay")
         return fresh
 
     def decay_gap(self, steps: int) -> None:
@@ -250,12 +257,15 @@ class EvidenceAccumulator:
         if steps <= 0:
             return
         self.suspicion *= self.config.decay**steps
-        for node in [
+        lapsed = [
             n
             for n in self._convicted
             if self.suspicion[n] < self.config.release_threshold
-        ]:
+        ]
+        for node in lapsed:
             self._convicted.discard(node)
+        if BUS.active and lapsed:
+            BUS.emit("conviction_lapsed", nodes=lapsed, reason="gap", steps=steps)
 
     def reset_node(self, node: int) -> None:
         """Clear a node's evidence (called when the guard releases its fence).

@@ -52,6 +52,8 @@ from repro.faults.monitor import DETOUR_KEY, LOCAL_BOC_KEY
 from repro.monitor.frames import FrameSample
 from repro.monitor.sampler import GlobalPerformanceMonitor, MonitorConfig
 from repro.noc.simulator import NoCSimulator
+from repro.obs.bus import BUS
+from repro.obs.metrics import METRICS, guard_events_counter
 
 __all__ = ["DL2FenceGuard"]
 
@@ -204,7 +206,10 @@ class DL2FenceGuard:
         self.simulator = simulator
         self.monitor = monitor
         self.report.sample_period = monitor.config.sample_period
-        monitor.add_listener(self.on_sample)
+        # The guard is the one listener whose failure must abort the episode
+        # (a defense silently detached from its stream is worse than a
+        # crash); auxiliary listeners default to isolated dispatch.
+        monitor.add_listener(self.on_sample, critical=True)
         return self
 
     # -- state --------------------------------------------------------------
@@ -239,6 +244,24 @@ class DL2FenceGuard:
         """
         engaged_at_start = bool(self._engaged)
         period = self.report.sample_period
+        if BUS.active:
+            # Coordinates for every event this window emits, including from
+            # nested emitters (evidence accumulator, sanitizer).  The episode
+            # label is the batched backend's lane index; solo simulators
+            # default to 0 unless the harness stamps one.
+            BUS.set_context(
+                episode=getattr(simulator, "lane_index", 0),
+                cycle=sample.cycle,
+                window=self._window_index,
+            )
+            if not self.report.event_counts:
+                self.report.event_counts = {
+                    "engagements": 0,
+                    "releases": 0,
+                    "convictions": 0,
+                    "clamps": 0,
+                    "detour_discounts": 0,
+                }
 
         # Keep localization topology-aware: point the pipeline's TLM/VCE at
         # the live (possibly fault-degraded) routing function every window,
@@ -290,6 +313,8 @@ class DL2FenceGuard:
                 )
             sample, health = self._sanitizer.sanitize(sample)
             unobservable = health.unobservable
+            if BUS.active and health.imputed_cells:
+                self._count_event("clamps", health.imputed_cells)
         # Delivery-gap and clock-staleness bookkeeping.  A gap (dropped
         # windows) charges the evidence accumulator the decay it missed; a
         # stale capture clock (delayed windows arriving in a burst) blocks
@@ -358,6 +383,17 @@ class DL2FenceGuard:
                 if detour and self.degraded_config is not None
                 else None
             )
+            if BUS.active and (discounts or corroborated):
+                BUS.emit(
+                    "detour_discount",
+                    nodes=detour,
+                    discount=(
+                        self.degraded_config.detour_discount if discounts else 1.0
+                    ),
+                    promoted=corroborated,
+                )
+                if discounts:
+                    self._count_event("detour_discounts", len(detour))
             fresh = self.evidence.observe(
                 observed,
                 weight,
@@ -373,6 +409,10 @@ class DL2FenceGuard:
                         detail="cross-window evidence",
                     )
                 )
+                if BUS.active:
+                    self._count_event("convictions", len(fresh))
+                if METRICS.active:
+                    guard_events_counter().inc(len(fresh), kind="convicted")
             convicted = self.evidence.convicted_nodes()
 
         acted = result.detected or any(
@@ -402,6 +442,12 @@ class DL2FenceGuard:
                 self.report.events.append(
                     DefenseEvent(cycle=sample.cycle, kind="detected", detail=detail)
                 )
+                if BUS.active or METRICS.active:
+                    self._trace(
+                        "detected",
+                        probability=float(result.detection_probability),
+                        via="detector" if result.detected else "evidence",
+                    )
             self._consecutive_detections += 1
             self._consecutive_clean = 0
         else:
@@ -448,6 +494,17 @@ class DL2FenceGuard:
                 benign_backlog_delivered=window_stats.backlog_delivered,
             )
         )
+        if BUS.active or METRICS.active:
+            self._trace(
+                "window",
+                phase=phase,
+                detected=acted,
+                probability=float(result.detection_probability),
+                attackers=sorted(result.attackers),
+                suspected=list(convicted),
+                engaged=sorted(self._engaged),
+                unobservable=unobservable,
+            )
         self._window_index += 1
 
     # -- mitigation mechanics ---------------------------------------------------
@@ -530,6 +587,15 @@ class DL2FenceGuard:
                     round=self._round,
                 )
             )
+            if BUS.active or METRICS.active:
+                self._trace(
+                    "engaged",
+                    nodes=newly_engaged,
+                    limit=float(limit),
+                    round=self._round,
+                )
+                if BUS.active:
+                    self._count_event("engagements", len(newly_engaged))
 
     def _rollback_stale(
         self,
@@ -568,6 +634,14 @@ class DL2FenceGuard:
                     detail="no longer localized",
                 )
             )
+            if BUS.active or METRICS.active:
+                self._trace(
+                    "rolled_back",
+                    nodes=rolled_back,
+                    remaining=len(self._engaged),
+                )
+                if BUS.active:
+                    self._count_event("releases", len(rolled_back))
             if not self._engaged:
                 # The rollback lifted the last restriction: record a full
                 # release so the report's release_cycle reflects reality.
@@ -579,6 +653,8 @@ class DL2FenceGuard:
                         detail="all restrictions rolled back",
                     )
                 )
+                if BUS.active or METRICS.active:
+                    self._trace("released", nodes=rolled_back, remaining=0)
 
     def _release_ready(self, cycle: int, simulator: NoCSimulator) -> None:
         """Release ONE engaged node whose clean-window hold has expired.
@@ -637,6 +713,15 @@ class DL2FenceGuard:
                 detail=detail,
             )
         )
+        if BUS.active or METRICS.active:
+            self._trace(
+                "released",
+                nodes=(probe,),
+                clean_windows=self._consecutive_clean,
+                remaining=len(self._engaged),
+            )
+            if BUS.active:
+                self._count_event("releases", 1)
 
     def _release_node(self, node: int, simulator: NoCSimulator) -> None:
         state = self._engaged.pop(node)
@@ -738,6 +823,24 @@ class DL2FenceGuard:
             state.shadow_pressure *= self._SHADOW_DECAY
             if node in flagged:
                 state.shadow_pressure += 1.0
+
+    # -- observability ---------------------------------------------------------
+    def _trace(self, kind: str, **fields) -> None:
+        """Mirror one decision into the trace bus and the metrics registry.
+
+        Call sites gate on ``BUS.active or METRICS.active`` so a fully
+        disabled observability stack never reaches this method (the
+        zero-cost-when-off contract); here each backend re-checks its own
+        switch, since either can be enabled alone.
+        """
+        BUS.emit(kind, **fields)
+        if METRICS.active:
+            guard_events_counter().inc(kind=kind)
+
+    def _count_event(self, key: str, amount: int = 1) -> None:
+        """Bump the report's deterministic event-count summary (tracing on)."""
+        counts = self.report.event_counts
+        counts[key] = counts.get(key, 0) + amount
 
     # -- measurement ----------------------------------------------------------
     def _window_latency(self, simulator: NoCSimulator) -> "_WindowStats":

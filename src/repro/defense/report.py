@@ -92,6 +92,12 @@ class DefenseReport:
     true_attackers: tuple[int, ...] = ()
     windows: list[WindowRecord] = field(default_factory=list)
     events: list[DefenseEvent] = field(default_factory=list)
+    #: Deterministic decision-event tallies (engagements, releases,
+    #: convictions, clamps, detour discounts), populated by the guard from
+    #: the trace bus when tracing is active.  Empty on untraced runs; when
+    #: populated, backend-identical — the counts are pure functions of the
+    #: fingerprint-identical window stream.
+    event_counts: dict[str, int] = field(default_factory=dict)
 
     # -- event accessors ----------------------------------------------------
     def _first_event_cycle(self, kind: str) -> int | None:
@@ -467,6 +473,7 @@ class DefenseReport:
                 str(node): value
                 for node, value in self.per_attacker_time_to_mitigation().items()
             },
+            "event_counts": dict(sorted(self.event_counts.items())),
             "summary": {key: scrub(value) for key, value in self.summary().items()},
         }
 
@@ -487,6 +494,7 @@ class DefenseReport:
             "true_attackers": list(self.true_attackers),
             "windows": [dataclasses.asdict(window) for window in self.windows],
             "events": [dataclasses.asdict(event) for event in self.events],
+            "event_counts": dict(self.event_counts),
         }
 
     @classmethod
@@ -517,6 +525,8 @@ class DefenseReport:
             true_attackers=tuple(int(node) for node in data["true_attackers"]),
             windows=windows,
             events=events,
+            # .get(): payloads cached before event_counts existed still load.
+            event_counts=dict(data.get("event_counts") or {}),
         )
 
     def format_timeline(self) -> str:

@@ -11,6 +11,7 @@ starts fresh.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -18,6 +19,7 @@ from repro.monitor.features import FeatureKind, extract_feature_frames
 from repro.monitor.frames import DirectionalFrame, FrameSample, FrameSet
 from repro.noc.simulator import NoCSimulator
 from repro.noc.topology import Direction
+from repro.obs.bus import BUS
 
 __all__ = ["MonitorConfig", "GlobalPerformanceMonitor"]
 
@@ -41,7 +43,11 @@ class GlobalPerformanceMonitor:
         self.config = config or MonitorConfig()
         self.samples: list[FrameSample] = []
         self._attackers: list = []
-        self._listeners: list[Callable[[FrameSample, NoCSimulator], None]] = []
+        #: (callback, critical) pairs; critical listeners fail fast, the
+        #: rest are isolated so one bad consumer cannot abort capture.
+        self._listeners: list[
+            tuple[Callable[[FrameSample, NoCSimulator], None], bool]
+        ] = []
         self._window_start: int | None = None
         # Optional monitor-plane fault injection (repro.faults): transforms
         # the captured stream between capture and store/dispatch.
@@ -70,7 +76,9 @@ class GlobalPerformanceMonitor:
         self._attackers.append(attacker)
 
     def add_listener(
-        self, callback: Callable[[FrameSample, NoCSimulator], None]
+        self,
+        callback: Callable[[FrameSample, NoCSimulator], None],
+        critical: bool = False,
     ) -> None:
         """Stream every new sample to ``callback(sample, simulator)``.
 
@@ -78,8 +86,15 @@ class GlobalPerformanceMonitor:
         (:class:`repro.defense.DL2FenceGuard`) subscribes here so each
         sampling window is pushed through detection and mitigation as soon as
         it is captured, instead of being post-processed from ``samples``.
+
+        ``critical`` controls the failure contract.  A critical listener
+        (the guard) propagates its exceptions — a defense silently detached
+        from its stream is worse than a crash.  Non-critical listeners
+        (trace sinks, dashboards, ad-hoc probes) are *isolated*: a raising
+        one is reported as a :class:`RuntimeWarning` and dispatch continues,
+        so a bad auxiliary consumer cannot abort window capture mid-episode.
         """
-        self._listeners.append(callback)
+        self._listeners.append((callback, critical))
 
     def set_fault_plane(self, plane) -> "GlobalPerformanceMonitor":
         """Install a monitor-plane fault chain (``None`` restores fault-free).
@@ -180,8 +195,28 @@ class GlobalPerformanceMonitor:
         )
         for item in delivered:
             self.samples.append(item)
-            for listener in self._listeners:
-                listener(item, simulator)
+            if BUS.active:
+                BUS.emit(
+                    "window_captured",
+                    episode=getattr(simulator, "lane_index", 0),
+                    cycle=item.cycle,
+                    window=len(self.samples) - 1,
+                    attack_active=bool(item.attack_active),
+                )
+            for listener, critical in self._listeners:
+                if critical:
+                    listener(item, simulator)
+                    continue
+                try:
+                    listener(item, simulator)
+                except Exception as exc:
+                    warnings.warn(
+                        f"monitor listener {listener!r} raised "
+                        f"{type(exc).__name__}: {exc}; listener isolated, "
+                        "window capture continues",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
         return sample
 
     # -- results ---------------------------------------------------------------

@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.nn.dtype import default_dtype
 from repro.nn.layers import Layer
+from repro.obs.metrics import METRICS, nn_forward_histogram
 
 __all__ = ["Sequential"]
 
@@ -63,6 +65,15 @@ class Sequential:
         inputs = np.asarray(inputs)
         self._ensure_built(inputs)
         inputs = inputs.astype(self.dtype, copy=False)
+        if METRICS.active:
+            start = perf_counter()
+            out = inputs
+            for layer in self.layers:
+                out = layer.forward(out, training=training)
+            nn_forward_histogram().observe(
+                perf_counter() - start, mode="train" if training else "infer"
+            )
+            return out
         out = inputs
         for layer in self.layers:
             out = layer.forward(out, training=training)

@@ -30,6 +30,7 @@ from repro.noc.route_provider import RouteProvider
 from repro.noc.simulator import SimulationConfig, TrafficSource
 from repro.noc.soa_batch import BatchedSoAMeshNetwork, SoAMeshLane
 from repro.noc.stats import LatencyStats
+from repro.obs.bus import BUS
 
 __all__ = ["BatchedNoCSimulator", "LaneSimulator"]
 
@@ -171,7 +172,19 @@ class BatchedNoCSimulator:
             dead_links=tuple(self._dead_links),
             dead_routers=tuple(self._dead_routers),
         )
-        return self.network.apply_data_faults(provider)
+        excised = self.network.apply_data_faults(provider)
+        if BUS.active:
+            BUS.emit(
+                "fault_activated",
+                cycle=self.cycle,
+                dead_links=sorted(
+                    [int(node), direction.name]
+                    for node, direction in provider.dead_links
+                ),
+                dead_routers=sorted(int(n) for n in provider.dead_routers),
+                excised=int(excised),
+            )
+        return excised
 
     @property
     def route_provider(self):

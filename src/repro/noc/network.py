@@ -3,12 +3,14 @@
 from __future__ import annotations
 
 from collections import deque
+from time import perf_counter
 
 from repro.noc.packet import Flit, Packet
 from repro.noc.router import Router, VirtualChannel
 from repro.noc.routing import UnroutableError, xy_next_direction
 from repro.noc.stats import NetworkStats
 from repro.noc.topology import Direction, MeshTopology
+from repro.obs.metrics import METRICS, sim_phase_histogram
 
 __all__ = ["MeshNetwork"]
 
@@ -296,9 +298,29 @@ class MeshNetwork:
     # -- cycle advance ---------------------------------------------------------
     def step(self, cycle: int) -> None:
         """Advance the network by one cycle."""
-        self._inject(cycle)
-        moves = self._allocate(cycle)
-        self._execute(moves, cycle)
+        if METRICS.active:
+            series = getattr(self, "_phase_series", None)
+            if series is None:
+                hist = sim_phase_histogram()
+                series = self._phase_series = (
+                    hist.series(backend="object", phase="inject"),
+                    hist.series(backend="object", phase="allocate"),
+                    hist.series(backend="object", phase="execute"),
+                )
+            start = perf_counter()
+            self._inject(cycle)
+            t_inject = perf_counter()
+            moves = self._allocate(cycle)
+            t_allocate = perf_counter()
+            self._execute(moves, cycle)
+            t_execute = perf_counter()
+            series[0].observe(t_inject - start)
+            series[1].observe(t_allocate - t_inject)
+            series[2].observe(t_execute - t_allocate)
+        else:
+            self._inject(cycle)
+            moves = self._allocate(cycle)
+            self._execute(moves, cycle)
         # Inlined occupancy accumulation over the flat port list: each port
         # maintains its occupied-VC count incrementally, so this sweep is two
         # attribute updates per port instead of a scan over its VCs.

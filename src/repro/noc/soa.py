@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
@@ -35,6 +36,7 @@ from repro.noc.packet import Packet
 from repro.noc.soa_step import FIDX_MASK, KEY_PERIOD, PKT_SHIFT, TAIL_BIT
 from repro.noc.stats import NetworkStats
 from repro.noc.topology import Direction, MeshTopology
+from repro.obs.metrics import METRICS, sim_phase_histogram
 
 __all__ = ["SoAMeshNetwork", "DIRECTION_INDEX", "mesh_tables"]
 
@@ -277,6 +279,8 @@ class SoAMeshNetwork:
         self.source_queue_capacity = source_queue_capacity
         self.stats = NetworkStats()
         self.dropped_packets = 0
+        # Label-bound metric handles, created on first metered step().
+        self._phase_series = None
 
         self._install_tables()
         # All state arrays are sized by the *array* node count, which equals
@@ -757,8 +761,24 @@ class SoAMeshNetwork:
     # -- cycle advance ------------------------------------------------------
     def step(self, cycle: int) -> None:
         """Advance the network by one cycle (inject, allocate, traverse)."""
-        soa_step.inject(self, cycle)
-        soa_step.switch(self, cycle)
+        if METRICS.active:
+            series = self._phase_series
+            if series is None:
+                hist = sim_phase_histogram()
+                series = self._phase_series = (
+                    hist.series(backend="soa", phase="inject"),
+                    hist.series(backend="soa", phase="switch"),
+                )
+            start = perf_counter()
+            soa_step.inject(self, cycle)
+            mid = perf_counter()
+            soa_step.switch(self, cycle)
+            end = perf_counter()
+            series[0].observe(mid - start)
+            series[1].observe(end - mid)
+        else:
+            soa_step.inject(self, cycle)
+            soa_step.switch(self, cycle)
         # Garnet-style windowed occupancy: accumulate this cycle's occupied
         # fraction per port, exactly as the object backend's per-port sweep.
         if self._occ_exact:

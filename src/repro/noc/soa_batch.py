@@ -33,6 +33,7 @@ stats, feature frames, injection limits, flush) reading and writing the
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
@@ -51,6 +52,7 @@ from repro.noc.soa import (
 from repro.noc.soa_step import PKT_SHIFT, TAIL_BIT
 from repro.noc.stats import NetworkStats
 from repro.noc.topology import Direction, MeshTopology
+from repro.obs.metrics import METRICS, sim_phase_histogram
 
 __all__ = ["BatchedSoAMeshNetwork", "SoAMeshLane", "batched_tables"]
 
@@ -267,8 +269,24 @@ class BatchedSoAMeshNetwork(SoAMeshNetwork):
     # -- cycle advance -------------------------------------------------------
     def step(self, cycle: int) -> None:
         """Advance every episode by one cycle in a single kernel dispatch."""
-        soa_step.inject(self, cycle)
-        soa_step.switch(self, cycle)
+        if METRICS.active:
+            series = self._phase_series
+            if series is None:
+                hist = sim_phase_histogram()
+                series = self._phase_series = (
+                    hist.series(backend="soa-batch", phase="inject"),
+                    hist.series(backend="soa-batch", phase="switch"),
+                )
+            start = perf_counter()
+            soa_step.inject(self, cycle)
+            mid = perf_counter()
+            soa_step.switch(self, cycle)
+            end = perf_counter()
+            series[0].observe(mid - start)
+            series[1].observe(end - mid)
+        else:
+            soa_step.inject(self, cycle)
+            soa_step.switch(self, cycle)
         if self._occ_exact:
             self._occ_sum_int += self._occupied
         else:

@@ -50,6 +50,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, TypeVar
 
+from repro.obs.metrics import METRICS, cache_events_counter
 from repro.runtime.hashing import cache_key
 
 __all__ = ["ArtifactCache", "CacheStats", "default_cache_root"]
@@ -114,6 +115,14 @@ class CacheStats:
             "evicted": self.evicted,
             "quarantined": self.quarantined,
         }
+
+    def inc(self, event: str, amount: int = 1) -> None:
+        """Bump one counter, mirrored into the metrics registry when metered."""
+        if not amount:
+            return
+        setattr(self, event, getattr(self, event) + amount)
+        if METRICS.active:
+            cache_events_counter().inc(amount, event=event)
 
 
 @dataclass
@@ -204,7 +213,7 @@ class ArtifactCache:
         except OSError:
             self._purge(entry)
             return
-        self.stats.quarantined += 1
+        self.stats.inc("quarantined")
         warnings.warn(
             f"cache entry {entry.name} is corrupt ({reason}); moved to "
             f"{target} for inspection, the artifact will be rebuilt",
@@ -236,29 +245,29 @@ class ArtifactCache:
         miss, not corruption.
         """
         if not self.enabled:
-            self.stats.misses += 1
+            self.stats.inc("misses")
             return None
         entry = self.entry_dir(kind, payload)
         if not entry.is_dir():
-            self.stats.misses += 1
+            self.stats.inc("misses")
             return None
         if not self._is_complete(entry):
-            self.stats.misses += 1
+            self.stats.inc("misses")
             if not entry.is_dir():
                 return None
-            self.stats.invalid += 1
+            self.stats.inc("invalid")
             self._quarantine(entry, "manifest missing, unreadable, or size mismatch")
             return None
         try:
             value = load(entry)
         except Exception as error:
-            self.stats.misses += 1
+            self.stats.inc("misses")
             if not entry.is_dir():
                 return None
-            self.stats.invalid += 1
+            self.stats.inc("invalid")
             self._quarantine(entry, f"loader failed: {type(error).__name__}")
             return None
-        self.stats.hits += 1
+        self.stats.inc("hits")
         # LRU touch: a hit makes the entry the most recently used one, so
         # size-cap pruning evicts cold entries first.
         try:
@@ -314,7 +323,7 @@ class ArtifactCache:
                 # it would drift the size estimate above the real on-disk
                 # footprint (which total_bytes() — manifest included — is the
                 # ground truth for).
-                self.stats.stores += 1
+                self.stats.inc("stores")
                 if self.max_bytes is not None:
                     if self._size_estimate is None:
                         self._size_estimate = self.total_bytes()
@@ -381,7 +390,7 @@ class ArtifactCache:
             self._purge(path)
             total -= size
             evicted += 1
-        self.stats.evicted += evicted
+        self.stats.inc("evicted", evicted)
         self._size_estimate = total
         return evicted
 

@@ -52,9 +52,16 @@ import multiprocessing
 import os
 import time
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
+
+from repro.obs.metrics import (
+    METRICS,
+    runner_events_counter,
+    runner_task_histogram,
+)
 
 __all__ = [
     "ArrayBundle",
@@ -332,13 +339,33 @@ class ParallelRunner:
         """
         task_list = list(tasks)
         if self.is_serial or len(task_list) <= 1:
-            return [fn(task) for task in task_list]
+            return self._run_serial(fn, task_list)
         if self.resilient:
             return self._map_resilient(fn, task_list, pack=False)
         context = multiprocessing.get_context(self.start_method)
         processes = min(self.workers, len(task_list))
         with context.Pool(processes=processes) as pool:
-            return pool.map(fn, task_list, chunksize=1)
+            if not METRICS.active:
+                return pool.map(fn, task_list, chunksize=1)
+            start = perf_counter()
+            results = pool.map(fn, task_list, chunksize=1)
+            runner_task_histogram().observe(perf_counter() - start, mode="pool_map")
+            runner_events_counter().inc(len(task_list), event="task", mode="pool")
+            return results
+
+    def _run_serial(self, fn: Callable, task_list: list) -> list:
+        """The in-process reference path, with per-task timing when metered."""
+        if not METRICS.active:
+            return [fn(task) for task in task_list]
+        hist = runner_task_histogram()
+        counter = runner_events_counter()
+        results = []
+        for task in task_list:
+            start = perf_counter()
+            results.append(fn(task))
+            hist.observe(perf_counter() - start, mode="serial")
+            counter.inc(event="task", mode="serial")
+        return results
 
     def _map_resilient(self, fn: Callable, task_list: list, pack: bool) -> list:
         """Per-task dispatch with timeout, retry rounds and serial fallback.
@@ -375,16 +402,30 @@ class ParallelRunner:
                 for index, handle in dispatched:
                     try:
                         value = handle.get(self.task_timeout)
+                    except multiprocessing.TimeoutError:
+                        failed.append(index)
+                        if METRICS.active:
+                            runner_events_counter().inc(event="timeout")
                     except Exception:
                         failed.append(index)
+                        if METRICS.active:
+                            runner_events_counter().inc(event="failure")
                     else:
                         results[index] = _unpack_handle(value) if pack else value
+                        if METRICS.active:
+                            runner_events_counter().inc(
+                                event="task", mode="resilient"
+                            )
             finally:
                 pool.terminate()
                 pool.join()
             pending = failed
             if pending and attempt < self.task_retries:
+                if METRICS.active:
+                    runner_events_counter().inc(len(pending), event="retry")
                 time.sleep(_RETRY_BACKOFF_BASE * 2**attempt)
+        if pending and METRICS.active:
+            runner_events_counter().inc(len(pending), event="serial_fallback")
         for index in pending:
             results[index] = fn(task_list[index])
         return [results[index] for index in range(len(task_list))]
@@ -413,7 +454,7 @@ class ParallelRunner:
         """
         task_list = list(tasks)
         if self.is_serial or len(task_list) <= 1:
-            return [fn(task) for task in task_list]
+            return self._run_serial(fn, task_list)
         if not shared_memory_enabled():
             return self.map(fn, task_list)
         if self.resilient:

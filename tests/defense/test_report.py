@@ -281,3 +281,27 @@ class TestRendering:
         assert "9.5" in text
         assert "detected" in text
         assert "p=0.97" in text
+
+
+class TestEventCounts:
+    def test_defaults_empty(self):
+        report = make_report()
+        assert report.event_counts == {}
+        assert report.as_dict()["event_counts"] == {}
+
+    def test_as_dict_sorts_keys(self):
+        report = make_report()
+        report.event_counts = {"releases": 1, "engagements": 2}
+        assert list(report.as_dict()["event_counts"]) == ["engagements", "releases"]
+
+    def test_payload_round_trip(self):
+        report = make_report()
+        report.event_counts = {"engagements": 2, "convictions": 1}
+        rebuilt = DefenseReport.from_payload(report.to_payload())
+        assert rebuilt.event_counts == {"engagements": 2, "convictions": 1}
+
+    def test_old_payloads_without_counts_still_load(self):
+        """Cached payloads written before event_counts existed must rebuild."""
+        payload = make_report().to_payload()
+        del payload["event_counts"]
+        assert DefenseReport.from_payload(payload).event_counts == {}

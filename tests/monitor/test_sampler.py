@@ -51,6 +51,37 @@ class TestStreaming:
         assert counts == [1, 2]
 
 
+class TestListenerIsolation:
+    def test_poison_listener_does_not_abort_capture(self):
+        """A raising listener is isolated with a warning; sampling continues."""
+        sim = make_simulator()
+        monitor = GlobalPerformanceMonitor(MonitorConfig(sample_period=50)).attach(sim)
+        received = []
+
+        def poison(sample, simulator):
+            raise RuntimeError("boom")
+
+        monitor.add_listener(poison)
+        monitor.add_listener(lambda sample, _: received.append(sample.cycle))
+        with pytest.warns(RuntimeWarning, match="boom"):
+            sim.run(16 + 50 * 3 + 1)
+        # Every window was still captured and delivered to the healthy listener.
+        assert monitor.num_samples == 3
+        assert received == [s.cycle for s in monitor.samples]
+
+    def test_critical_listener_still_fails_fast(self):
+        """The guard's listener keeps its fail-fast contract via critical=True."""
+        sim = make_simulator()
+        monitor = GlobalPerformanceMonitor(MonitorConfig(sample_period=50)).attach(sim)
+
+        def poison(sample, simulator):
+            raise RuntimeError("guard failure must propagate")
+
+        monitor.add_listener(poison, critical=True)
+        with pytest.raises(RuntimeError, match="must propagate"):
+            sim.run(16 + 50 + 1)
+
+
 class TestSampling:
     def test_collects_expected_number_of_samples(self):
         sim = make_simulator()

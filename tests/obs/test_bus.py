@@ -1,0 +1,201 @@
+"""Unit tests for the structured event-trace bus and its sinks."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.bus import (
+    BUS,
+    TRACE_SCHEMA_VERSION,
+    JsonlSink,
+    NullSink,
+    RingBufferSink,
+    TraceBus,
+    configure_tracing_from_environment,
+    serialize_event,
+    trace_session,
+)
+
+
+class TestDisabledBus:
+    def test_disabled_by_default(self):
+        """Tier-1 runs without REPRO_TRACE must see an inactive global bus."""
+        assert BUS.active is False
+        assert BUS.sink is None
+
+    def test_emit_on_disabled_bus_is_a_noop(self):
+        bus = TraceBus()
+        bus.emit("engaged", nodes=[1, 2])  # must not raise, must not allocate a sink
+
+    def test_env_off_values(self, monkeypatch):
+        bus = TraceBus()
+        for value in ("", "0", "off", "none", "false", "no", "OFF"):
+            monkeypatch.setenv("REPRO_TRACE", value)
+            configure_tracing_from_environment(bus)
+            assert bus.active is False
+
+    def test_env_rejects_unknown_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "bogus")
+        with pytest.raises(ValueError):
+            configure_tracing_from_environment(TraceBus())
+
+
+class TestContextStamping:
+    def make_bus(self):
+        bus = TraceBus()
+        sink = RingBufferSink()
+        bus.configure(sink)
+        return bus, sink
+
+    def test_events_carry_schema_and_coordinates(self):
+        bus, sink = self.make_bus()
+        bus.set_context(episode=2, cycle=300, window=4)
+        bus.emit("detected", probability=0.75)
+        (event,) = sink.events()
+        assert event == {
+            "schema": TRACE_SCHEMA_VERSION,
+            "kind": "detected",
+            "episode": 2,
+            "cycle": 300,
+            "window": 4,
+            "probability": 0.75,
+        }
+
+    def test_fields_override_context(self):
+        bus, sink = self.make_bus()
+        bus.set_context(episode=1, cycle=100, window=0)
+        bus.emit("window_captured", episode=7, cycle=999, window=12)
+        (event,) = sink.events()
+        assert (event["episode"], event["cycle"], event["window"]) == (7, 999, 12)
+
+    def test_partial_context_updates(self):
+        bus, sink = self.make_bus()
+        bus.set_context(episode=3, cycle=100, window=1)
+        bus.set_context(cycle=200)  # episode/window untouched
+        bus.emit("window")
+        (event,) = sink.events()
+        assert (event["episode"], event["cycle"], event["window"]) == (3, 200, 1)
+
+    def test_nodes_normalised_to_sorted_ints(self):
+        bus, sink = self.make_bus()
+        bus.emit("engaged", nodes=frozenset({9, 1, 4}))
+        bus.emit("released", nodes=(5,))
+        first, second = sink.events()
+        assert first["nodes"] == [1, 4, 9]
+        assert second["nodes"] == [5]
+
+    def test_set_values_normalised(self):
+        bus, sink = self.make_bus()
+        bus.emit("window_sanitized", declared_silent=frozenset({3, 1}), stuck=set())
+        (event,) = sink.events()
+        assert event["declared_silent"] == [1, 3]
+        assert event["stuck"] == []
+
+    def test_configure_resets_context(self):
+        bus, _ = self.make_bus()
+        bus.set_context(episode=5, cycle=900, window=8)
+        bus.configure(RingBufferSink())
+        assert (bus.episode, bus.cycle, bus.window) == (0, -1, -1)
+
+
+class TestSerialization:
+    def test_canonical_bytes(self):
+        event = {"kind": "engaged", "schema": 1, "nodes": [1, 5], "cycle": 100}
+        assert (
+            serialize_event(event)
+            == '{"cycle":100,"kind":"engaged","nodes":[1,5],"schema":1}'
+        )
+
+    def test_identical_events_identical_bytes(self):
+        a = {"b": 2, "a": 1}
+        b = {"a": 1, "b": 2}
+        assert serialize_event(a) == serialize_event(b)
+
+
+class TestRingBufferSink:
+    def test_capacity_rolls_oldest_off(self):
+        sink = RingBufferSink(capacity=3)
+        for index in range(5):
+            sink.write({"index": index})
+        assert [event["index"] for event in sink.events()] == [2, 3, 4]
+        assert len(sink) == 3
+
+    def test_clear(self):
+        sink = RingBufferSink()
+        sink.write({"kind": "window"})
+        sink.clear()
+        assert sink.events() == []
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+
+class TestJsonlSink:
+    def test_requires_path_or_directory(self):
+        with pytest.raises(ValueError):
+            JsonlSink()
+
+    def test_explicit_path_lazy_open(self, tmp_path):
+        target = tmp_path / "sub" / "trace.jsonl"
+        sink = JsonlSink(path=target)
+        assert not target.exists()  # lazy: nothing opened before first event
+        sink.write({"kind": "window", "cycle": 1})
+        sink.write({"kind": "engaged", "nodes": [2]})
+        sink.close()
+        lines = target.read_text().splitlines()
+        assert [json.loads(line)["kind"] for line in lines] == ["window", "engaged"]
+        assert lines[0] == serialize_event({"kind": "window", "cycle": 1})
+
+    def test_directory_mode_uses_pid_file(self, tmp_path):
+        sink = JsonlSink(directory=tmp_path)
+        assert sink.path == tmp_path / f"trace-{os.getpid()}.jsonl"
+        sink.write({"kind": "window"})
+        sink.close()
+        assert sink.path.exists()
+
+    def test_env_jsonl_mode(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "jsonl")
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+        bus = configure_tracing_from_environment(TraceBus())
+        assert bus.active
+        assert isinstance(bus.sink, JsonlSink)
+        assert bus.sink.path.parent == tmp_path
+        bus.disable()
+
+    def test_env_ring_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "ring")
+        bus = configure_tracing_from_environment(TraceBus())
+        assert isinstance(bus.sink, RingBufferSink)
+
+
+class TestTraceSession:
+    def test_installs_and_restores(self):
+        sink = RingBufferSink()
+        assert BUS.active is False
+        with trace_session(sink):
+            assert BUS.active is True
+            BUS.emit("window")
+        assert BUS.active is False
+        assert BUS.sink is None
+        assert len(sink) == 1
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with trace_session(RingBufferSink()):
+                raise RuntimeError("boom")
+        assert BUS.active is False
+
+    def test_flushes_jsonl_on_exit(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        with trace_session(JsonlSink(path=target)):
+            BUS.emit("window", cycle=1)
+        assert target.read_text().count("\n") == 1
+
+    def test_null_sink_session_keeps_bus_inactive(self):
+        with trace_session(None):
+            assert BUS.active is False
+        sink = NullSink()
+        sink.flush()
+        sink.close()
